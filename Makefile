@@ -1,0 +1,35 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: all build test vet bench experiments cover clean
+
+all: build vet test
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+bench:
+	go test -bench=. -benchmem ./
+
+# Regenerate every paper artifact (EXPERIMENTS.md).
+experiments:
+	go run ./cmd/mixbench
+
+experiments-quick:
+	go run ./cmd/mixbench -quick
+
+cover:
+	go test -coverprofile=/tmp/mix.cover ./... && go tool cover -func=/tmp/mix.cover | tail -1
+
+# The artifacts requested by the reproduction protocol.
+outputs:
+	go test ./... 2>&1 | tee test_output.txt
+	go test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt

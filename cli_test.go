@@ -1,0 +1,227 @@
+package mix_test
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// buildTools compiles the cmd/* binaries once per test run into a shared
+// temp dir and returns the path of the requested tool.
+var (
+	toolsOnce sync.Once
+	toolsDir  string
+	toolsErr  error
+)
+
+func tool(t *testing.T, name string) string {
+	t.Helper()
+	toolsOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "mixtools")
+		if err != nil {
+			toolsErr = err
+			return
+		}
+		toolsDir = dir
+		cmd := exec.Command("go", "build", "-o", dir+string(os.PathSeparator),
+			"./cmd/mixinfer", "./cmd/mixquery", "./cmd/dtdcheck", "./cmd/mixgen", "./cmd/mixbench", "./cmd/mixcompose")
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			toolsErr = &buildError{out: string(out), err: err}
+		}
+	})
+	if toolsErr != nil {
+		t.Skipf("cannot build CLI tools: %v", toolsErr)
+	}
+	return filepath.Join(toolsDir, name)
+}
+
+type buildError struct {
+	out string
+	err error
+}
+
+func (e *buildError) Error() string { return e.err.Error() + "\n" + e.out }
+
+func run(t *testing.T, stdin string, name string, args ...string) (string, string, int) {
+	t.Helper()
+	cmd := exec.Command(tool(t, name), args...)
+	if stdin != "" {
+		cmd.Stdin = strings.NewReader(stdin)
+	}
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	code := 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	return stdout.String(), stderr.String(), code
+}
+
+func writeFixtures(t *testing.T) (dtdPath, queryPath string) {
+	t.Helper()
+	dir := t.TempDir()
+	dtdPath = filepath.Join(dir, "d1.dtd")
+	queryPath = filepath.Join(dir, "q2.xmas")
+	if err := os.WriteFile(dtdPath, []byte(d1Bench), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(queryPath, []byte(q2Bench), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return
+}
+
+func TestCLIMixinfer(t *testing.T) {
+	dtdPath, queryPath := writeFixtures(t)
+	out, _, code := run(t, "", "mixinfer", "-dtd", dtdPath, "-query", queryPath)
+	if code != 0 {
+		t.Fatalf("exit %d\n%s", code, out)
+	}
+	for _, want := range []string{
+		"specialized view DTD", "plain view DTD",
+		"<!ELEMENT withJournals (professor*, gradStudent*)>",
+		"publication^1",
+		"classification: satisfiable",
+		"non-tightness introduced",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output misses %q:\n%s", want, out)
+		}
+	}
+	// Unsatisfiable views exit 2.
+	dir := t.TempDir()
+	unsat := filepath.Join(dir, "u.xmas")
+	os.WriteFile(unsat, []byte(`v = SELECT X WHERE <department> X:<dean/> </department>`), 0o644)
+	_, _, code = run(t, "", "mixinfer", "-dtd", dtdPath, "-query", unsat)
+	if code != 2 {
+		t.Errorf("unsatisfiable view: exit %d, want 2", code)
+	}
+}
+
+func TestCLIMixgenDtdcheckMixqueryPipeline(t *testing.T) {
+	dtdPath, queryPath := writeFixtures(t)
+	// Generate a document with inline DTD.
+	doc, genErr, code := run(t, "", "mixgen", "-dtd", dtdPath, "-seed", "5", "-ids")
+	if code != 0 {
+		t.Fatalf("mixgen exit %d: %s", code, genErr)
+	}
+	// Validate it from stdin.
+	out, _, code := run(t, doc, "dtdcheck")
+	if code != 0 || !strings.Contains(out, "valid") {
+		t.Fatalf("dtdcheck: exit %d, out %q", code, out)
+	}
+	// Query it with validation.
+	out, stderr, code := run(t, doc, "mixquery", "-query", queryPath, "-validate", "-indent", "-1")
+	if code != 0 {
+		t.Fatalf("mixquery exit %d: %s", code, stderr)
+	}
+	if !strings.Contains(out, "<withJournals>") {
+		t.Errorf("result: %q", out)
+	}
+	if !strings.Contains(stderr, "satisfies the inferred view DTD") {
+		t.Errorf("stderr: %q", stderr)
+	}
+}
+
+func TestCLIDtdcheckTighter(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.dtd")
+	b := filepath.Join(dir, "b.dtd")
+	os.WriteFile(a, []byte(`<!DOCTYPE r [ <!ELEMENT r (x, x)> <!ELEMENT x (#PCDATA)> ]>`), 0o644)
+	os.WriteFile(b, []byte(`<!DOCTYPE r [ <!ELEMENT r (x+)> <!ELEMENT x (#PCDATA)> ]>`), 0o644)
+	out, _, code := run(t, "", "dtdcheck", "-tighter", a, b)
+	if code != 0 || !strings.Contains(out, "strictly tighter") {
+		t.Errorf("tighter: exit %d, %q", code, out)
+	}
+	out, _, code = run(t, "", "dtdcheck", "-tighter", b, a)
+	if code != 1 || !strings.Contains(out, "witness") {
+		t.Errorf("reverse: exit %d, %q", code, out)
+	}
+}
+
+func TestCLIDtdcheckInvalidDocument(t *testing.T) {
+	_, stderr, code := run(t, `<!DOCTYPE r [ <!ELEMENT r (x)> <!ELEMENT x (#PCDATA)> ]><r></r>`, "dtdcheck")
+	if code != 1 || !strings.Contains(stderr, "INVALID") {
+		t.Errorf("exit %d, stderr %q", code, stderr)
+	}
+}
+
+func TestCLIMixbenchSubset(t *testing.T) {
+	out, _, code := run(t, "", "mixbench", "-quick", "E5")
+	if code != 0 || !strings.Contains(out, "PASS") {
+		t.Errorf("mixbench: exit %d\n%s", code, out)
+	}
+	out, _, code = run(t, "", "mixbench", "-list")
+	if code != 0 || !strings.Contains(out, "E12") {
+		t.Errorf("mixbench -list: exit %d\n%s", code, out)
+	}
+}
+
+func TestCLIMixqueryNoSimplifyAgrees(t *testing.T) {
+	dtdPath, queryPath := writeFixtures(t)
+	doc, _, _ := run(t, "", "mixgen", "-dtd", dtdPath, "-seed", "6", "-ids")
+	a, _, _ := run(t, doc, "mixquery", "-query", queryPath, "-indent", "-1")
+	b, _, _ := run(t, doc, "mixquery", "-query", queryPath, "-indent", "-1", "-no-simplify")
+	if a != b {
+		t.Errorf("simplified and unsimplified answers differ:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestExamplesRun smoke-tests every example program (they are the public
+// API's living documentation and must not rot).
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples are slow-ish; skipped in -short")
+	}
+	examples, err := filepath.Glob("examples/*")
+	if err != nil || len(examples) < 5 {
+		t.Fatalf("examples: %v %v", examples, err)
+	}
+	for _, dir := range examples {
+		dir := dir
+		t.Run(filepath.Base(dir), func(t *testing.T) {
+			cmd := exec.Command("go", "run", "./"+dir)
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("example %s failed: %v\n%s", dir, err, out)
+			}
+			if len(out) == 0 {
+				t.Errorf("example %s printed nothing", dir)
+			}
+		})
+	}
+}
+
+// TestCLIMixcompose covers the composition tool.
+func TestCLIMixcompose(t *testing.T) {
+	dir := t.TempDir()
+	view := filepath.Join(dir, "view.xmas")
+	q := filepath.Join(dir, "q.xmas")
+	os.WriteFile(view, []byte(`members = SELECT M WHERE <department> M:<professor|gradStudent/> </department>`), 0o644)
+	os.WriteFile(q, []byte(`profs = SELECT X WHERE <members> X:<professor><teaches/></professor> </members>`), 0o644)
+	out, _, code := run(t, "", "mixcompose", "-view", view, "-query", q)
+	if code != 0 || !strings.Contains(out, "SELECT M") || !strings.Contains(out, "<department>") {
+		t.Errorf("mixcompose: exit %d\n%s", code, out)
+	}
+	// Not composable: two root children.
+	os.WriteFile(q, []byte(`v = SELECT X WHERE <members> X:<professor/> <gradStudent/> </members>`), 0o644)
+	_, _, code = run(t, "", "mixcompose", "-view", view, "-query", q)
+	if code != 2 {
+		t.Errorf("not-composable exit = %d, want 2", code)
+	}
+	// Empty composition.
+	os.WriteFile(q, []byte(`v = SELECT X WHERE <otherView> X:<professor/> </otherView>`), 0o644)
+	_, _, code = run(t, "", "mixcompose", "-view", view, "-query", q)
+	if code != 3 {
+		t.Errorf("empty-composition exit = %d, want 3", code)
+	}
+}

@@ -1,0 +1,130 @@
+// Command dtdcheck validates XML documents against DTDs and compares DTDs
+// under the paper's tightness order (Definition 3.2).
+//
+// Validate a document (DTD from its DOCTYPE subset, or -dtd):
+//
+//	dtdcheck -doc data.xml [-dtd schema.dtd]
+//
+// Compare two DTDs:
+//
+//	dtdcheck -tighter a.dtd b.dtd     # is L(a) ⊆ L(b)?
+//
+// Exit status 1 reports invalidity / non-tightness, with an explanation on
+// standard error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	mix "repro"
+)
+
+func main() {
+	docPath := flag.String("doc", "", "path to the XML document (default: stdin)")
+	dtdPath := flag.String("dtd", "", "path to a DTD overriding the document's DOCTYPE")
+	tighter := flag.Bool("tighter", false, "compare two DTD files given as arguments")
+	outline := flag.Bool("outline", false, "print the DTD (from -dtd) as an annotated structure tree and exit")
+	flag.Parse()
+
+	if *outline {
+		if *dtdPath == "" {
+			fmt.Fprintln(os.Stderr, "dtdcheck: -outline requires -dtd")
+			os.Exit(1)
+		}
+		d, err := readDTD(*dtdPath)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(mix.OutlineDTD(d))
+		return
+	}
+
+	if *tighter {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "dtdcheck: -tighter needs exactly two DTD files")
+			os.Exit(1)
+		}
+		a, err := readDTD(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		b, err := readDTD(flag.Arg(1))
+		if err != nil {
+			fatal(err)
+		}
+		ab, wab := mix.Tighter(a, b)
+		ba, _ := mix.Tighter(b, a)
+		switch {
+		case ab && ba:
+			fmt.Println("equivalent: the DTDs describe the same documents")
+		case ab:
+			fmt.Printf("%s is strictly tighter than %s\n", flag.Arg(0), flag.Arg(1))
+		case ba:
+			fmt.Printf("%s is strictly tighter than %s\n", flag.Arg(1), flag.Arg(0))
+		default:
+			fmt.Println("incomparable")
+		}
+		if !ab && wab != nil {
+			fmt.Printf("witness against %s ⊆ %s: %s\n", flag.Arg(0), flag.Arg(1), wab)
+			if doc, err := mix.WitnessDocument(a, b); err == nil && doc != nil {
+				fmt.Println("counterexample document (valid under the first, invalid under the second):")
+				fmt.Print(mix.MarshalDocument(doc, nil, 2))
+			}
+		}
+		if !ab {
+			os.Exit(1)
+		}
+		return
+	}
+
+	var text []byte
+	var err error
+	if *docPath == "" {
+		text, err = io.ReadAll(os.Stdin)
+	} else {
+		text, err = os.ReadFile(*docPath)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	doc, d, err := mix.ParseDocument(string(text))
+	if err != nil {
+		fatal(err)
+	}
+	if *dtdPath != "" {
+		d, err = readDTD(*dtdPath)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if d == nil {
+		fatal(fmt.Errorf("no DTD: the document has no DOCTYPE internal subset and -dtd was not given"))
+	}
+	if errs := d.Check(); len(errs) > 0 {
+		for _, e := range errs {
+			fmt.Fprintln(os.Stderr, "dtdcheck: DTD problem:", e)
+		}
+		os.Exit(1)
+	}
+	if err := d.Validate(doc); err != nil {
+		fmt.Fprintln(os.Stderr, "dtdcheck: INVALID:", err)
+		os.Exit(1)
+	}
+	fmt.Println("valid")
+}
+
+func readDTD(path string) (*mix.DTD, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return mix.ParseDTD(string(b))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dtdcheck:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,36 @@
+// Command mixbench runs the experiment harness: every table, figure-level
+// claim and worked example of the paper, reproduced and checked. With no
+// arguments it runs all experiments; pass experiment IDs (E1 … E12) to run
+// a subset.
+//
+// Usage:
+//
+//	mixbench [-quick] [-seed N] [-list] [E1 E2 ...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "shrink corpora and sweeps for a fast run")
+	seed := flag.Int64("seed", 1, "random seed for generated workloads")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Printf("%-4s %s\n     %s\n", e.ID, e.Title, e.Paper)
+		}
+		return
+	}
+	cfg := bench.Config{Quick: *quick, Seed: *seed}
+	if err := bench.Run(os.Stdout, cfg, flag.Args()...); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

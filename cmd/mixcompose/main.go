@@ -1,0 +1,66 @@
+// Command mixcompose rewrites a query over a view into an equivalent query
+// over the view's source — the mediator's query/view composition step as a
+// standalone tool. The composed query can then be shipped to the source
+// (e.g. via mixquery) without ever materializing the view.
+//
+// Usage:
+//
+//	mixcompose -view members.xmas -query profs.xmas
+//
+// Exit status 2 means the query is outside the composable fragment (the
+// caller should materialize); exit status 3 means the composition is
+// provably empty (the query can match nothing in the view).
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+
+	mix "repro"
+)
+
+func main() {
+	viewPath := flag.String("view", "", "path to the view definition (XMAS)")
+	queryPath := flag.String("query", "", "path to the query against the view (XMAS)")
+	flag.Parse()
+	if *viewPath == "" || *queryPath == "" {
+		fmt.Fprintln(os.Stderr, "mixcompose: -view and -query are required")
+		flag.Usage()
+		os.Exit(1)
+	}
+	viewDef, err := readQuery(*viewPath)
+	if err != nil {
+		fatal(err)
+	}
+	q, err := readQuery(*queryPath)
+	if err != nil {
+		fatal(err)
+	}
+	composed, err := mix.ComposeQuery(viewDef, q)
+	switch {
+	case errors.Is(err, mix.ErrNotComposable):
+		fmt.Fprintln(os.Stderr, "mixcompose: not composable (materialize the view instead):", err)
+		os.Exit(2)
+	case errors.Is(err, mix.ErrEmptyComposition):
+		fmt.Fprintln(os.Stderr, "mixcompose: the query can match nothing in this view; the answer is empty")
+		os.Exit(3)
+	case err != nil:
+		fatal(err)
+	}
+	fmt.Println(composed)
+}
+
+func readQuery(path string) (*mix.Query, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return mix.ParseQuery(string(b))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mixcompose:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,109 @@
+package mix_test
+
+import (
+	"fmt"
+
+	mix "repro"
+)
+
+// The library DTD used across the runnable documentation examples.
+const libraryDTD = `<!DOCTYPE library [
+  <!ELEMENT library (book+)>
+  <!ELEMENT book (title, author+, (hardcover|paperback))>
+  <!ELEMENT title (#PCDATA)>
+  <!ELEMENT author (#PCDATA)>
+  <!ELEMENT hardcover (#PCDATA)>
+  <!ELEMENT paperback (#PCDATA)>
+]>`
+
+// ExampleInfer derives a view DTD and shows the disjunction removal of the
+// paper's Example 3.2 on a small schema.
+func ExampleInfer() {
+	src := mix.MustDTD(libraryDTD)
+	q := mix.MustQuery(`hardcovers = SELECT B WHERE <library> B:<book><hardcover/></book> </library>`)
+	res, err := mix.Infer(q, src)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.DTD.Types["hardcovers"])
+	fmt.Println(res.DTD.Types["book"])
+	fmt.Println(res.Class)
+	// Output:
+	// (book*)
+	// (title, author+, hardcover)
+	// satisfiable
+}
+
+// ExampleEval materializes a view and validates it against the inferred
+// DTD — soundness (Definition 3.1) in one screenful.
+func ExampleEval() {
+	src := mix.MustDTD(libraryDTD)
+	q := mix.MustQuery(`hardcovers = SELECT B WHERE <library> B:<book><hardcover/></book> </library>`)
+	doc, _, err := mix.ParseDocument(`<library>
+	  <book><title>A</title><author>x</author><hardcover>1st</hardcover></book>
+	  <book><title>B</title><author>y</author><paperback>2nd</paperback></book>
+	</library>`)
+	if err != nil {
+		panic(err)
+	}
+	view, err := mix.Eval(q, doc)
+	if err != nil {
+		panic(err)
+	}
+	res, _ := mix.Infer(q, src)
+	fmt.Println(len(view.Root.Children), res.DTD.Validate(view) == nil)
+	// Output: 1 true
+}
+
+// ExampleRefine is the paper's Example 4.1: forcing a journal occurrence.
+func ExampleRefine() {
+	model, _ := mix.ParseContentModel("name, (journal|conference)*")
+	fmt.Println(mix.Refine(model, "journal"))
+	// Output: name, (journal | conference)*, journal, (journal | conference)*
+}
+
+// ExampleTighter decides the tightness order (Definition 3.2) and explains
+// failures with a witness.
+func ExampleTighter() {
+	a := mix.MustDTD(`<!DOCTYPE r [ <!ELEMENT r (x, x)> <!ELEMENT x (#PCDATA)> ]>`)
+	b := mix.MustDTD(`<!DOCTYPE r [ <!ELEMENT r (x+)> <!ELEMENT x (#PCDATA)> ]>`)
+	tighter, _ := mix.Tighter(a, b)
+	looser, w := mix.Tighter(b, a)
+	fmt.Println(tighter, looser)
+	fmt.Println(w)
+	// Output:
+	// true false
+	// r: children (x) — allowed by the tighter candidate, rejected by the other
+}
+
+// ExampleNewQueryBuilder constructs a query from schema paths, with the
+// DTD guiding every step.
+func ExampleNewQueryBuilder() {
+	src := mix.MustDTD(libraryDTD)
+	q, err := mix.NewQueryBuilder(src).
+		Pick("library/book").
+		Where("library/book/hardcover").
+		Build("hardcovers")
+	if err != nil {
+		panic(err)
+	}
+	res, _ := mix.Infer(q, src)
+	fmt.Println(res.DTD.Types["book"])
+	// Output: (title, author+, hardcover)
+}
+
+// ExampleComposeQuery rewrites a query over a view into a query over the
+// source — the mediator's composition step.
+func ExampleComposeQuery() {
+	viewDef := mix.MustQuery(`hardcovers = SELECT B WHERE <library> B:<book><hardcover/></book> </library>`)
+	q := mix.MustQuery(`titles = SELECT T WHERE <hardcovers> <book> T:<title/> </book> </hardcovers>`)
+	composed, err := mix.ComposeQuery(viewDef, q)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(composed.PickVar)
+	fmt.Println(composed.Root.Names[0])
+	// Output:
+	// T
+	// library
+}

@@ -1,0 +1,106 @@
+// Distributed mediator stacking over HTTP: a campus mediator serves a view
+// (with its inferred DTD) on a local port; a portal mediator in another
+// "process boundary" registers that remote view as a source via its URL,
+// infers its own view DTD from the remote's inferred DTD, and answers
+// queries — including one it can refuse without any network round trip.
+// This is the paper's "lower level mediators provide their view DTDs to
+// the higher level ones", with the views living at URLs as Section 2.1
+// prescribes.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+
+	mix "repro"
+	"repro/internal/mediator"
+	"repro/internal/serve"
+)
+
+const d1 = `<!DOCTYPE department [
+  <!ELEMENT department (name, professor+, gradStudent+, course*)>
+  <!ELEMENT professor (firstName, lastName, publication+, teaches)>
+  <!ELEMENT gradStudent (firstName, lastName, publication+)>
+  <!ELEMENT publication (title, author+, (journal|conference))>
+  <!ELEMENT name (#PCDATA)>
+  <!ELEMENT firstName (#PCDATA)>
+  <!ELEMENT lastName (#PCDATA)>
+  <!ELEMENT title (#PCDATA)>
+  <!ELEMENT author (#PCDATA)>
+  <!ELEMENT journal (#PCDATA)>
+  <!ELEMENT conference (#PCDATA)>
+  <!ELEMENT course (#PCDATA)>
+  <!ELEMENT teaches (#PCDATA)>
+]>`
+
+func main() {
+	// --- lower mediator: the campus ---
+	campus := mix.NewMediator("campus")
+	src := mix.MustDTD(d1)
+	g, err := mix.NewGenerator(src, mix.GenOptions{Seed: 17, AssignIDs: true, LengthBias: 0.2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	deptDoc := g.Document()
+	wrapped, err := mix.NewStaticSource("cs-dept", deptDoc, src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := campus.AddSource(wrapped); err != nil {
+		log.Fatal(err)
+	}
+	view, err := campus.DefineView("cs-dept", mix.MustQuery(
+		`members = SELECT X WHERE <department> X:<professor|gradStudent/> </department>`))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("campus mediator: view %q inferred (class %s)\n", view.Name, view.Class)
+
+	// Serve it on an ephemeral local port.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ln.Close()
+	var med *mediator.Mediator = campus
+	go func() { _ = http.Serve(ln, serve.New(med)) }()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("campus mediator serving at %s/views/members\n\n", base)
+
+	// --- upper mediator: the portal, in another process in real life ---
+	remote, err := mix.NewHTTPSource(nil, base, "members")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("portal registered remote source %s\n", remote.Name())
+	fmt.Println("remote view DTD (inferred by the lower mediator, fetched over HTTP):")
+	fmt.Println(remote.Schema())
+
+	portal := mix.NewMediator("portal")
+	if err := portal.AddSource(remote); err != nil {
+		log.Fatal(err)
+	}
+	pv, err := portal.DefineView(remote.Name(), mix.MustQuery(
+		`busyProfs = SELECT X WHERE <members> X:<professor><publication/><teaches/></professor> </members>`))
+	if err != nil {
+		log.Fatal(err)
+	}
+	doc, err := portal.Materialize("busyProfs")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nportal view 'busyProfs': %d professors; satisfies its inferred DTD: %v\n",
+		len(doc.Root.Children), pv.DTD.Validate(doc) == nil)
+
+	// DTD knowledge crosses the network: an impossible query is answered
+	// locally, with zero HTTP requests.
+	res, stats, err := portal.Query("busyProfs", mix.MustQuery(
+		`none = SELECT X WHERE <busyProfs> X:<course/> </busyProfs>`))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("query for courses in busyProfs: %d results, answered without data access: %v\n",
+		len(res.Root.Children), stats.SkippedUnsatisfiable)
+}

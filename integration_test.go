@@ -1,0 +1,179 @@
+package mix_test
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	mix "repro"
+	"repro/internal/mediator"
+	"repro/internal/serve"
+)
+
+// TestWholePaper is the narrative integration test: it walks the paper's
+// story end to end on the department schema — inference, soundness,
+// tightness, specialization, merging, mediation, simplification,
+// composition, stacking, and serving — asserting each section's claim
+// along the way. If this test passes, the reproduction stands.
+func TestWholePaper(t *testing.T) {
+	src := mix.MustDTD(d1Bench)
+
+	// --- Section 4: infer the view DTD for Q2 ---
+	q2 := mix.MustQuery(q2Bench)
+	res, err := mix.Infer(q2, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Class != mix.Satisfiable {
+		t.Fatalf("Q2 class = %v", res.Class)
+	}
+
+	// --- Section 3.1: soundness and tightness ---
+	rep, err := mix.CheckSoundness(q2, src, res.DTD, res.SDTD, 120, 2026)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Violations != 0 {
+		t.Fatalf("soundness: %s", rep.First)
+	}
+	naive, err := mix.NaiveInfer(q2, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tighter, _ := mix.Tighter(res.DTD, naive)
+	looser, _ := mix.Tighter(naive, res.DTD)
+	if !tighter || looser {
+		t.Fatal("inferred DTD must be strictly tighter than the naive one")
+	}
+	// A concrete certificate of the gap.
+	witness, err := mix.WitnessDocument(naive, res.DTD)
+	if err != nil || witness == nil {
+		t.Fatalf("witness: %v %v", witness, err)
+	}
+	if naive.Validate(witness) != nil || res.DTD.Validate(witness) == nil {
+		t.Fatal("witness document is not a certificate")
+	}
+
+	// --- Section 3.2/3.3: the s-DTD is strictly more expressive ---
+	// A professor with two conference papers satisfies the merged plain
+	// DTD but not the specialized one.
+	badProf, err := mix.ParseElement(`<withJournals><professor>
+	  <firstName>f</firstName><lastName>l</lastName>
+	  <publication><title>t</title><author>a</author><conference>c</conference></publication>
+	  <publication><title>t</title><author>a</author><conference>c</conference></publication>
+	  <teaches>x</teaches></professor></withJournals>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	badDoc := &mix.Document{DocType: "withJournals", Root: badProf}
+	if res.DTD.Validate(badDoc) != nil {
+		t.Fatal("the plain DTD cannot express journal-ness; it must accept")
+	}
+	if res.SDTD.Satisfies(badDoc) == nil {
+		t.Fatal("the s-DTD must reject conference-only members")
+	}
+
+	// --- Section 4.3: s-DTDs are an exchange format ---
+	back, err := mix.ParseSDTD(res.SDTD.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Satisfies(badDoc) == nil {
+		t.Fatal("round-tripped s-DTD changed semantics")
+	}
+
+	// --- Section 1: the mediator, with DTD-driven processing ---
+	g, err := mix.NewGenerator(src, mix.GenOptions{Seed: 7, AssignIDs: true, LengthBias: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mix.NewMediator("campus")
+	wrapped, err := mix.NewStaticSource("cs", g.Document(), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddSource(wrapped); err != nil {
+		t.Fatal(err)
+	}
+	view, err := m.DefineView("cs", mix.MustQuery(
+		`members = SELECT X WHERE <department> X:<professor|gradStudent/> </department>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.Class != mix.Valid {
+		t.Fatalf("members view class = %v (D1 guarantees members)", view.Class)
+	}
+	matDoc, err := m.Materialize("members")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := view.DTD.Validate(matDoc); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simplification: a provably-empty query never touches data.
+	_, stats, err := m.Query("members", mix.MustQuery(`v = SELECT X WHERE <members> X:<course/> </members>`))
+	if err != nil || !stats.SkippedUnsatisfiable {
+		t.Fatalf("unsatisfiable query: %v %+v", err, stats)
+	}
+
+	// Composition: same answers as materialization, no view built.
+	q := mix.MustQuery(`profs = SELECT X WHERE <members> X:<professor><teaches/></professor> </members>`)
+	composed, err := m.QueryComposed("members", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	materialized, err := m.QueryUnsimplified("members", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !composed.Root.Equal(materialized.Root) {
+		t.Fatal("composition must agree with materialization")
+	}
+
+	// --- Section 1 again: stacking, over HTTP, three levels ---
+	var med *mediator.Mediator = m
+	srv := httptest.NewServer(serve.New(med))
+	defer srv.Close()
+	remote, err := mix.NewHTTPSource(nil, srv.URL, "members")
+	if err != nil {
+		t.Fatal(err)
+	}
+	portal := mix.NewMediator("portal")
+	if err := portal.AddSource(remote); err != nil {
+		t.Fatal(err)
+	}
+	pv, err := portal.DefineView(remote.Name(), mix.MustQuery(
+		`published = SELECT X WHERE <members> X:<professor|gradStudent><publication><journal/></publication></> </members>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd, err := portal.Materialize("published")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pv.DTD.Validate(pd); err != nil {
+		t.Fatal(err)
+	}
+
+	// --- The DTD-driven interface: outline + guided construction ---
+	outline := mix.OutlineDTD(pv.DTD)
+	if !strings.Contains(outline, "published") {
+		t.Fatalf("outline:\n%s", outline)
+	}
+	built, err := mix.NewQueryBuilder(src).
+		Pick("department/professor|gradStudent").
+		WhereText("department/name", "CS").
+		WhereAtLeast("department/professor|gradStudent/publication/journal", 2).
+		Build("withJournals")
+	if err != nil {
+		t.Fatal(err)
+	}
+	builtRes, err := mix.Infer(built, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mix.EquivalentDTDs(builtRes.DTD, res.DTD) {
+		t.Fatal("builder-made Q2 must infer the same view DTD as the paper's Q2")
+	}
+}

@@ -1,0 +1,97 @@
+package automata
+
+import (
+	"fmt"
+
+	"repro/internal/regex"
+)
+
+// Reduce rewrites e into a smaller language-equivalent expression using
+// semantic (automata-backed) rules on top of the syntactic simplifier:
+//
+//   - alternatives subsumed by another alternative are dropped
+//     (L(b) ⊆ L(a) ⇒ a|b = a) — this is what turns the raw output of
+//     sequential refinement, a disjunction of interleaving orders, back
+//     into the paper's compact forms;
+//   - a trailing "?" or "+" made redundant by nullability disappears (via
+//     the regex constructors);
+//   - the result is verified equivalent to the input (a Reduce bug would
+//     otherwise silently corrupt inferred DTDs), falling back to the
+//     syntactic simplification on mismatch.
+//
+// Reduce is meant for the moderately sized expressions that inference
+// produces; it runs containment checks pairwise over alternatives. Very
+// large expressions (as arise when unioning views over a hundred sources)
+// would make the pairwise pass quadratic in automata constructions, so
+// Reduce degrades to the syntactic simplifier beyond a size threshold.
+func Reduce(e regex.Expr) regex.Expr {
+	simplified := regex.Simplify(e)
+	if regex.Size(simplified) > reduceSizeLimit {
+		return simplified
+	}
+	out := regex.Simplify(reduce(simplified))
+	if !Equivalent(out, e) {
+		// Defensive: never trade correctness for brevity.
+		return simplified
+	}
+	return out
+}
+
+// reduceSizeLimit bounds the AST size Reduce will run semantic rewrites
+// on; larger inputs get only syntactic simplification.
+const reduceSizeLimit = 512
+
+func reduce(e regex.Expr) regex.Expr {
+	switch v := e.(type) {
+	case regex.Empty, regex.Fail, regex.Atom:
+		return e
+	case regex.Star:
+		return regex.Rep(reduce(v.Sub))
+	case regex.Plus:
+		return regex.Rep1(reduce(v.Sub))
+	case regex.Opt:
+		return regex.Maybe(reduce(v.Sub))
+	case regex.Concat:
+		items := make([]regex.Expr, len(v.Items))
+		for i, it := range v.Items {
+			items[i] = reduce(it)
+		}
+		return regex.Cat(items...)
+	case regex.Alt:
+		items := make([]regex.Expr, len(v.Items))
+		for i, it := range v.Items {
+			items[i] = reduce(it)
+		}
+		items = absorb(items)
+		return regex.Or(items...)
+	}
+	panic(fmt.Sprintf("automata: unknown node %T", e))
+}
+
+// absorb drops alternatives whose language is contained in another's.
+func absorb(items []regex.Expr) []regex.Expr {
+	keep := make([]bool, len(items))
+	for i := range keep {
+		keep[i] = true
+	}
+	for i := range items {
+		if !keep[i] {
+			continue
+		}
+		for j := range items {
+			if i == j || !keep[j] {
+				continue
+			}
+			if Contains(items[j], items[i]) {
+				keep[j] = false
+			}
+		}
+	}
+	out := items[:0:0]
+	for i, it := range items {
+		if keep[i] {
+			out = append(out, it)
+		}
+	}
+	return out
+}

@@ -1,0 +1,164 @@
+// Package bench is the experiment harness: one entry per experiment in
+// EXPERIMENTS.md (E1–E12), each regenerating a paper artifact — a worked
+// example's output, a formal claim made quantitative, or a scalability
+// property of the algorithms. cmd/mixbench runs them from the command line;
+// the repository-root benchmarks reuse the same fixtures for testing.B
+// measurements.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Config tunes experiment cost.
+type Config struct {
+	// Quick shrinks corpus sizes and sweep ranges for CI-speed runs.
+	Quick bool
+	// Seed drives all randomized workloads.
+	Seed int64
+}
+
+// DefaultConfig is used by cmd/mixbench without flags.
+func DefaultConfig() Config { return Config{Seed: 1} }
+
+// Outcome is an experiment's result: a verdict plus the table it printed.
+type Outcome struct {
+	// Pass reports that every checked property held.
+	Pass bool
+	// Notes are free-form observations (paper-vs-measured deltas etc.).
+	Notes []string
+}
+
+// Experiment is one reproducible artifact.
+type Experiment struct {
+	ID    string
+	Title string
+	// Paper identifies the paper artifact being reproduced.
+	Paper string
+	Run   func(w io.Writer, cfg Config) (*Outcome, error)
+}
+
+var registry []*Experiment
+
+func register(e *Experiment) { registry = append(registry, e) }
+
+// All returns the registered experiments in ID order.
+func All() []*Experiment {
+	out := append([]*Experiment(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return idOrder(out[i].ID) < idOrder(out[j].ID) })
+	return out
+}
+
+func idOrder(id string) int {
+	n := 0
+	fmt.Sscanf(id, "E%d", &n)
+	return n
+}
+
+// Lookup finds an experiment by ID.
+func Lookup(id string) *Experiment {
+	for _, e := range All() {
+		if strings.EqualFold(e.ID, id) {
+			return e
+		}
+	}
+	return nil
+}
+
+// Run executes the selected experiments (all when ids is empty), printing
+// their reports to w. It returns an error when any experiment fails or
+// errors.
+func Run(w io.Writer, cfg Config, ids ...string) error {
+	var exps []*Experiment
+	if len(ids) == 0 {
+		exps = All()
+	} else {
+		for _, id := range ids {
+			e := Lookup(id)
+			if e == nil {
+				return fmt.Errorf("bench: unknown experiment %q", id)
+			}
+			exps = append(exps, e)
+		}
+	}
+	failed := 0
+	for _, e := range exps {
+		fmt.Fprintf(w, "=== %s — %s\n    paper artifact: %s\n", e.ID, e.Title, e.Paper)
+		start := time.Now()
+		out, err := e.Run(w, cfg)
+		if err != nil {
+			fmt.Fprintf(w, "    ERROR: %v\n\n", err)
+			failed++
+			continue
+		}
+		for _, n := range out.Notes {
+			fmt.Fprintf(w, "    note: %s\n", n)
+		}
+		verdict := "PASS"
+		if !out.Pass {
+			verdict = "FAIL"
+			failed++
+		}
+		fmt.Fprintf(w, "    %s (%.2fs)\n\n", verdict, time.Since(start).Seconds())
+	}
+	if failed > 0 {
+		return fmt.Errorf("bench: %d experiment(s) failed", failed)
+	}
+	return nil
+}
+
+// table renders an aligned text table.
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func (t *table) add(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *table) write(w io.Writer, indent string) {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		fmt.Fprint(w, indent)
+		for i, c := range cells {
+			fmt.Fprintf(w, "%-*s", widths[i]+2, c)
+		}
+		fmt.Fprintln(w)
+	}
+	line(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.rows {
+		line(r)
+	}
+}
+
+func check(pass *bool, cond bool) bool {
+	if !cond {
+		*pass = false
+	}
+	return cond
+}
+
+func mark(ok bool) string {
+	if ok {
+		return "ok"
+	}
+	return "MISMATCH"
+}

@@ -1,0 +1,124 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/infer"
+)
+
+// TestAllExperimentsPass runs the whole harness in quick mode: every
+// experiment must PASS. This is the repository's end-to-end reproduction
+// gate.
+func TestAllExperimentsPass(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := Config{Quick: true, Seed: 1}
+	if err := Run(&buf, cfg); err != nil {
+		t.Fatalf("harness failed: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15"} {
+		if !strings.Contains(out, "=== "+id+" ") {
+			t.Errorf("experiment %s missing from output", id)
+		}
+	}
+	if strings.Contains(out, "FAIL") {
+		t.Errorf("some experiment failed:\n%s", out)
+	}
+}
+
+func TestRegistryAndLookup(t *testing.T) {
+	all := All()
+	if len(all) != 15 {
+		t.Fatalf("experiments = %d, want 15", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if idOrder(all[i-1].ID) >= idOrder(all[i].ID) {
+			t.Errorf("registry not ordered: %s before %s", all[i-1].ID, all[i].ID)
+		}
+	}
+	if Lookup("e3") == nil || Lookup("E3") == nil {
+		t.Error("Lookup must be case-insensitive")
+	}
+	if Lookup("E99") != nil {
+		t.Error("unknown id must return nil")
+	}
+	var buf bytes.Buffer
+	if err := Run(&buf, Config{Quick: true, Seed: 1}, "E99"); err == nil {
+		t.Error("running an unknown experiment must error")
+	}
+}
+
+func TestRunSubset(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run(&buf, Config{Quick: true, Seed: 1}, "E5", "E6"); err != nil {
+		t.Fatalf("subset run: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "=== E5") || !strings.Contains(out, "=== E6") {
+		t.Error("subset missing experiments")
+	}
+	if strings.Contains(out, "=== E1 ") {
+		t.Error("subset ran extra experiments")
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tb := &table{header: []string{"a", "long-header"}}
+	tb.add("xx", "y")
+	var buf bytes.Buffer
+	tb.write(&buf, "  ")
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "  a ") {
+		t.Errorf("header line %q", lines[0])
+	}
+}
+
+// TestFixturesAreWellFormed validates the harness's own workload
+// generators: the paper DTDs parse and self-check, scaled DTDs are
+// consistent and generate valid documents, and scaled queries infer.
+func TestFixturesAreWellFormed(t *testing.T) {
+	for name, text := range map[string]string{
+		"D1": D1, "D9": D9, "D11": D11, "SectionDTD": SectionDTD, "MiniSrc": MiniSrc,
+	} {
+		d := mustDTD(text)
+		if errs := d.Check(); len(errs) > 0 {
+			t.Errorf("%s: %v", name, errs)
+		}
+	}
+	for _, q := range []string{Q2, Q3, Q12, QRecursive, MiniQ2} {
+		mustQuery(q)
+	}
+	for _, width := range []int{1, 3} {
+		for _, venues := range []int{1, 4} {
+			d := scaledDeptDTD(width, venues)
+			if errs := d.Check(); len(errs) > 0 {
+				t.Fatalf("scaled(%d,%d): %v", width, venues, errs)
+			}
+			g, err := gen.New(d, gen.Options{Seed: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := d.Validate(g.Document()); err != nil {
+				t.Fatalf("scaled(%d,%d) generation: %v", width, venues, err)
+			}
+			if _, err := infer.Infer(scaledQuery(2), d); err != nil {
+				t.Fatalf("scaled query inference: %v", err)
+			}
+		}
+	}
+	for _, depth := range []int{1, 5} {
+		d, q := deepDTDAndQuery(depth)
+		if errs := d.Check(); len(errs) > 0 {
+			t.Fatalf("deep(%d): %v", depth, errs)
+		}
+		if _, err := infer.Infer(q, d); err != nil {
+			t.Fatalf("deep(%d) inference: %v", depth, err)
+		}
+	}
+}

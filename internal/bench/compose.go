@@ -1,0 +1,104 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/gen"
+	"repro/internal/mediator"
+	"repro/internal/xmas"
+)
+
+func init() {
+	register(&Experiment{
+		ID:    "E13",
+		Title: "Query/view composition vs. materialization",
+		Paper: "Section 1's runtime: the mediator 'combines the incoming query and the view into a query which refers directly to the source data'",
+		Run:   runE13,
+	})
+}
+
+func runE13(w io.Writer, cfg Config) (*Outcome, error) {
+	out := &Outcome{Pass: true}
+	src := mustDTD(D1)
+	viewDef := mustQuery(`members = SELECT M WHERE <department><name>CS</name> M:<professor|gradStudent/> </department>`)
+	queries := []struct {
+		name string
+		q    *xmas.Query
+	}{
+		{"drill-down", mustQuery(`titles = SELECT T WHERE <members> <professor|gradStudent> <publication> T:<title/> </publication> </> </members>`)},
+		{"restrict", mustQuery(`profs = SELECT X WHERE <members> X:<professor><teaches/></professor> </members>`)},
+		{"distinct", mustQuery(`multi = SELECT X WHERE <members> X:<*> <publication id=A/> <publication id=B/> </> </members> AND A != B`)},
+	}
+	docs := 40
+	reps := 20
+	if cfg.Quick {
+		docs, reps = 10, 5
+	}
+	g, err := gen.New(src, gen.Options{Seed: cfg.Seed, AssignIDs: true, LengthBias: 0.15})
+	if err != nil {
+		return nil, err
+	}
+	corpus := g.Corpus(docs)
+
+	t := &table{header: []string{"query", "materialize+eval", "composed eval", "speedup", "equal answers"}}
+	for _, qc := range queries {
+		composed, err := mediator.Compose(viewDef, qc.q)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", qc.name, err)
+		}
+		// Equality on every document.
+		equal := true
+		for _, doc := range corpus {
+			view, err := engine.Eval(viewDef, doc)
+			if err != nil {
+				return nil, err
+			}
+			a, err := engine.Eval(qc.q, view)
+			if err != nil {
+				return nil, err
+			}
+			b, err := engine.Eval(composed, doc)
+			if err != nil {
+				return nil, err
+			}
+			if !a.Root.Equal(b.Root) {
+				equal = false
+			}
+		}
+		check(&out.Pass, equal)
+
+		// Timing: the materializing path evaluates the view then the query;
+		// the composed path evaluates one query directly on the source.
+		start := time.Now()
+		for r := 0; r < reps; r++ {
+			for _, doc := range corpus {
+				view, _ := engine.Eval(viewDef, doc)
+				if _, err := engine.EvalElements(qc.q, view); err != nil {
+					return nil, err
+				}
+			}
+		}
+		mat := time.Since(start) / time.Duration(reps)
+		start = time.Now()
+		for r := 0; r < reps; r++ {
+			for _, doc := range corpus {
+				if _, err := engine.EvalElements(composed, doc); err != nil {
+					return nil, err
+				}
+			}
+		}
+		comp := time.Since(start) / time.Duration(reps)
+		speed := float64(mat) / float64(max64(comp, 1))
+		t.add(qc.name, mat.Round(time.Microsecond).String(), comp.Round(time.Microsecond).String(),
+			fmt.Sprintf("%.1fx", speed), fmt.Sprint(equal))
+	}
+	t.write(w, "    ")
+	out.Notes = append(out.Notes,
+		"composition avoids building the intermediate view document entirely; answers verified identical on every corpus document",
+		"restricting/distinct queries win by skipping materialization; the deep drill-down pays per-candidate verification against the larger source and can lose — a cost-based optimizer would choose per estimate, which is exactly the kind of decision the paper says DTD knowledge enables",
+		"queries whose conditions overlap the view's own conditions are outside the composable fragment and fall back to materialization (mediator.ErrNotComposable)")
+	return out, nil
+}

@@ -1,0 +1,181 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/dtd"
+	"repro/internal/regex"
+	"repro/internal/xmas"
+)
+
+// The paper's DTDs and queries, used across experiments.
+
+// D1 is the department DTD of Example 3.1.
+const D1 = `<!DOCTYPE department [
+  <!ELEMENT department (name, professor+, gradStudent+, course*)>
+  <!ELEMENT professor (firstName, lastName, publication+, teaches)>
+  <!ELEMENT gradStudent (firstName, lastName, publication+)>
+  <!ELEMENT publication (title, author+, (journal|conference))>
+  <!ELEMENT name (#PCDATA)>
+  <!ELEMENT firstName (#PCDATA)>
+  <!ELEMENT lastName (#PCDATA)>
+  <!ELEMENT title (#PCDATA)>
+  <!ELEMENT author (#PCDATA)>
+  <!ELEMENT journal (#PCDATA)>
+  <!ELEMENT conference (#PCDATA)>
+  <!ELEMENT course (#PCDATA)>
+  <!ELEMENT teaches (#PCDATA)>
+]>`
+
+// D9 is the professor DTD of Example 4.1.
+const D9 = `<!DOCTYPE professor [
+  <!ELEMENT professor (name, (journal|conference)*)>
+  <!ELEMENT name (#PCDATA)>
+  <!ELEMENT journal (#PCDATA)>
+  <!ELEMENT conference (#PCDATA)>
+]>`
+
+// D11 is the department DTD of Example 4.4 (gradStudent has exactly one
+// publication, publication has author*).
+const D11 = `<!DOCTYPE department [
+  <!ELEMENT department (name, professor+, gradStudent+, course*)>
+  <!ELEMENT professor (firstName, lastName, publication+, teaches)>
+  <!ELEMENT gradStudent (firstName, lastName, publication)>
+  <!ELEMENT publication (title, author*, (journal|conference))>
+  <!ELEMENT name (#PCDATA)>
+  <!ELEMENT firstName (#PCDATA)>
+  <!ELEMENT lastName (#PCDATA)>
+  <!ELEMENT title (#PCDATA)>
+  <!ELEMENT author (#PCDATA)>
+  <!ELEMENT journal (#PCDATA)>
+  <!ELEMENT conference (#PCDATA)>
+  <!ELEMENT course (#PCDATA)>
+  <!ELEMENT teaches (#PCDATA)>
+]>`
+
+// SectionDTD is Example 3.5's recursive DTD.
+const SectionDTD = `<!DOCTYPE section [
+  <!ELEMENT section (prolog, section*, conclusion)>
+  <!ELEMENT prolog (#PCDATA)>
+  <!ELEMENT conclusion (#PCDATA)>
+]>`
+
+// Q2 is Example 3.1's query: members with two distinct journal papers.
+const Q2 = `withJournals =
+SELECT P
+WHERE <department><name>CS</name>
+        P:<professor|gradStudent>
+           <publication id=Pub1><journal/></publication>
+           <publication id=Pub2><journal/></publication>
+        </>
+      </department>
+AND Pub1 != Pub2`
+
+// Q3 is Example 3.2's query: all journal publications.
+const Q3 = `publist =
+SELECT P
+WHERE <department><name>CS</name>
+        <professor|gradStudent>
+          P:<publication><journal/></publication>
+        </>
+      </department>`
+
+// Q12 is Example 4.4's query: titles and authors of student publications.
+const Q12 = `papers =
+SELECT P
+WHERE D:<department>
+        G:<gradStudent>
+          X:<publication>
+            P:<title|author/>
+          </publication>
+        </gradStudent>
+      </department>`
+
+// QRecursive is Example 3.5's startsAndEnds query.
+const QRecursive = `startsAndEnds = SELECT X WHERE <section*> X:<prolog|conclusion/> </>`
+
+// MiniSrc is the scaled-down department used for exhaustive structural
+// tightness measurement (E9): r contains members (p) holding publications
+// (u) that are journal (j) or conference (c) papers.
+const MiniSrc = `<!DOCTYPE r [
+  <!ELEMENT r (p*)>
+  <!ELEMENT p (u*)>
+  <!ELEMENT u (j|c)>
+  <!ELEMENT j (#PCDATA)>
+  <!ELEMENT c (#PCDATA)>
+]>`
+
+// MiniQ2 is Q2 scaled down to MiniSrc.
+const MiniQ2 = `v = SELECT X WHERE <r> X:<p> <u id=A><j/></u> <u id=B><j/></u> </p> </r> AND A != B`
+
+func mustDTD(s string) *dtd.DTD {
+	d, err := dtd.Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+func mustQuery(s string) *xmas.Query { return xmas.MustParse(s) }
+
+// scaledDeptDTD builds a D1-like DTD with `width` member kinds and `extra`
+// venue kinds, used by the E12 scalability sweeps.
+func scaledDeptDTD(width, venues int) *dtd.DTD {
+	d := dtd.New("department")
+	memberAlts := make([]regex.Expr, width)
+	for i := 0; i < width; i++ {
+		memberAlts[i] = regex.Cat(regex.Nm(fmt.Sprintf("member%d", i)), regex.Rep(regex.Nm(fmt.Sprintf("member%d", i))))
+	}
+	d.Declare("department", dtd.M(regex.Cat(regex.Nm("name"), regex.Cat(memberAlts...))))
+	venueAlts := make([]regex.Expr, venues)
+	for j := 0; j < venues; j++ {
+		venueAlts[j] = regex.Nm(fmt.Sprintf("venue%d", j))
+	}
+	for i := 0; i < width; i++ {
+		d.Declare(fmt.Sprintf("member%d", i),
+			dtd.M(regex.MustParse("firstName, lastName, publication+")))
+	}
+	d.Declare("publication", dtd.M(regex.Cat(regex.Nm("title"), regex.Rep1(regex.Nm("author")), regex.Or(venueAlts...))))
+	d.Declare("name", dtd.PC())
+	d.Declare("firstName", dtd.PC())
+	d.Declare("lastName", dtd.PC())
+	d.Declare("title", dtd.PC())
+	d.Declare("author", dtd.PC())
+	for j := 0; j < venues; j++ {
+		d.Declare(fmt.Sprintf("venue%d", j), dtd.PC())
+	}
+	return d
+}
+
+// scaledQuery picks member0 elements with k distinct venue0 publications.
+func scaledQuery(k int) *xmas.Query {
+	q := &xmas.Query{Name: "v", PickVar: "P"}
+	pick := &xmas.Cond{Names: []string{"member0"}, Var: "P"}
+	for i := 0; i < k; i++ {
+		id := fmt.Sprintf("I%d", i)
+		pick.Children = append(pick.Children, &xmas.Cond{
+			Names: []string{"publication"}, IDVar: id,
+			Children: []*xmas.Cond{{Names: []string{"venue0"}}},
+		})
+		for j := 0; j < i; j++ {
+			q.Neq = append(q.Neq, [2]string{fmt.Sprintf("I%d", j), id})
+		}
+	}
+	q.Root = &xmas.Cond{Names: []string{"department"}, Children: []*xmas.Cond{pick}}
+	return q
+}
+
+// deepDTDAndQuery builds a chain DTD n0→n1→…→n_depth and a query whose
+// pick sits at the end of the chain.
+func deepDTDAndQuery(depth int) (*dtd.DTD, *xmas.Query) {
+	d := dtd.New("n0")
+	for i := 0; i < depth; i++ {
+		d.Declare(fmt.Sprintf("n%d", i), dtd.M(regex.Rep1(regex.Nm(fmt.Sprintf("n%d", i+1)))))
+	}
+	d.Declare(fmt.Sprintf("n%d", depth), dtd.PC())
+	cond := &xmas.Cond{Names: []string{fmt.Sprintf("n%d", depth)}, Var: "P"}
+	for i := depth - 1; i >= 0; i-- {
+		cond = &xmas.Cond{Names: []string{fmt.Sprintf("n%d", i)}, Children: []*xmas.Cond{cond}}
+	}
+	return d, &xmas.Query{Name: "v", PickVar: "P", Root: cond}
+}

@@ -1,0 +1,126 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/dtd"
+	"repro/internal/gen"
+	"repro/internal/mediator"
+	"repro/internal/xmas"
+)
+
+func init() {
+	register(&Experiment{
+		ID:    "E14",
+		Title: "Mediation at scale: union views over many sites",
+		Paper: "Section 1's motivating scenario ('a view that unions the structures exported by 100 sites') — with structure",
+		Run:   runE14,
+	})
+}
+
+// siteSchema generates per-site DTD text; sites rotate through member
+// element names and optional extras, so the union is genuinely
+// heterogeneous.
+func siteSchema(i int) (root, member, text string) {
+	members := []string{"researcher", "scientist", "fellow", "member", "staff"}
+	root = fmt.Sprintf("site%d", i)
+	member = members[i%len(members)]
+	extra, decl := "", ""
+	if i%3 == 0 {
+		extra = ", grant?"
+		decl = "\n  <!ELEMENT grant (#PCDATA)>"
+	}
+	text = fmt.Sprintf(`<!DOCTYPE %[1]s [
+  <!ELEMENT %[1]s (%[2]s*)>
+  <!ELEMENT %[2]s (fullName, publication*%[3]s)>
+  <!ELEMENT publication (title, (journal|conference))>
+  <!ELEMENT fullName (#PCDATA)>
+  <!ELEMENT title (#PCDATA)>
+  <!ELEMENT journal (#PCDATA)>
+  <!ELEMENT conference (#PCDATA)>%[4]s
+]>`, root, member, extra, decl)
+	return
+}
+
+func runE14(w io.Writer, cfg Config) (*Outcome, error) {
+	out := &Outcome{Pass: true}
+	siteCounts := []int{5, 20, 50, 100}
+	if cfg.Quick {
+		siteCounts = []int{5, 20}
+	}
+	t := &table{header: []string{"sites", "data elements", "register (infer all)", "view DTD decls", "s-DTD specs", "query (simplified)", "query skipped (unsat)"}}
+	for _, n := range siteCounts {
+		m := mediator.New("portal")
+		var parts []mediator.ViewPart
+		totalElems := 0
+		for i := 0; i < n; i++ {
+			root, member, text := siteSchema(i)
+			d, err := dtd.Parse(text)
+			if err != nil {
+				return nil, err
+			}
+			g, err := gen.New(d, gen.Options{Seed: cfg.Seed + int64(i), AssignIDs: true, LengthBias: 0.3})
+			if err != nil {
+				return nil, err
+			}
+			doc := g.Document()
+			totalElems += doc.Root.Size()
+			src, err := mediator.NewStaticSource(root, doc, d)
+			if err != nil {
+				return nil, err
+			}
+			if err := m.AddSource(src); err != nil {
+				return nil, err
+			}
+			parts = append(parts, mediator.ViewPart{Source: root, Query: xmas.MustParse(fmt.Sprintf(
+				`SELECT X WHERE <%s> X:<%s><publication><journal/></publication></%s> </%s>`,
+				root, member, member, root))})
+		}
+		start := time.Now()
+		v, err := m.DefineUnionView("published", parts)
+		if err != nil {
+			return nil, err
+		}
+		register := time.Since(start)
+
+		// One representative query through the simplifying path.
+		q := xmas.MustParse(`rs = SELECT X WHERE <published> X:<researcher><publication/></researcher> </published>`)
+		start = time.Now()
+		res, stats, err := m.Query("published", q)
+		if err != nil {
+			return nil, err
+		}
+		queryDur := time.Since(start)
+		check(&out.Pass, stats.PrunedConditions >= 1) // every member has a journal publication
+
+		// An unsatisfiable query never touches the n sites.
+		unsat := xmas.MustParse(`none = SELECT X WHERE <published> X:<grant/> </published>`)
+		start = time.Now()
+		_, ustats, err := m.Query("published", unsat)
+		if err != nil {
+			return nil, err
+		}
+		unsatDur := time.Since(start)
+		check(&out.Pass, ustats.SkippedUnsatisfiable)
+
+		// The materialized union satisfies its inferred DTDs.
+		doc, err := m.Materialize("published")
+		if err != nil {
+			return nil, err
+		}
+		check(&out.Pass, v.DTD.Validate(doc) == nil)
+		check(&out.Pass, v.SDTD.Satisfies(doc) == nil)
+		t.add(fmt.Sprint(n), fmt.Sprint(totalElems), register.Round(time.Millisecond).String(),
+			fmt.Sprint(len(v.DTD.Types)), fmt.Sprint(len(v.SDTD.Types)),
+			queryDur.Round(time.Microsecond).String(), unsatDur.Round(time.Microsecond).String())
+		check(&out.Pass, len(res.Root.Children) >= 0)
+	}
+	t.write(w, "    ")
+	out.Notes = append(out.Notes,
+		"registration cost is per-site inference plus the s-DTD union; it is paid once per view definition",
+		"unsatisfiable queries are answered in microseconds regardless of the number of sites — the classifier replaces data access",
+		"grant can appear inside members but never as a view member itself, so the grant query is provably empty")
+	return out, nil
+}

@@ -1,0 +1,85 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/infer"
+	"repro/internal/tightness"
+	"repro/internal/xmlmodel"
+)
+
+func init() {
+	register(&Experiment{
+		ID:    "E15",
+		Title: "Definition 3.10, literal vs tag-consistent satisfaction",
+		Paper: "Section 3.3 / Definition 3.10 — the image-based reading vs the reading under which D4 is tight",
+		Run:   runE15,
+	})
+}
+
+// runE15 quantifies the semantic subtlety recorded in EXPERIMENTS.md E3:
+// Definition 3.10 as printed checks children against the *image* of the
+// chosen specialization, which cannot enforce that the publication filling
+// a publication¹ slot is journal-only. We enumerate every structural class
+// of the merged plain view DTD at a size bound and count how each
+// semantics judges it, against ground truth (achievability as an actual
+// view).
+func runE15(w io.Writer, cfg Config) (*Outcome, error) {
+	out := &Outcome{Pass: true}
+	src := mustDTD(MiniSrc)
+	q := mustQuery(MiniQ2)
+	res, err := infer.Infer(q, src)
+	if err != nil {
+		return nil, err
+	}
+	viewBound, srcBound, limit := 8, 10, 4000
+	if cfg.Quick {
+		viewBound, srcBound, limit = 6, 8, 800
+	}
+	image, err := tightness.ViewImage(q, src, srcBound, limit)
+	if err != nil {
+		return nil, err
+	}
+	type row struct{ classes, achievable int }
+	var weak, strict row
+	for _, c := range tightness.EnumerateClasses(res.DTD, viewBound, limit) {
+		doc := &xmlmodel.Document{DocType: c.Name, Root: c}
+		achievable := image[c.StructureKey()]
+		if res.SDTD.SatisfiesWeak(doc) == nil {
+			weak.classes++
+			if achievable {
+				weak.achievable++
+			}
+		}
+		if res.SDTD.Satisfies(doc) == nil {
+			strict.classes++
+			if achievable {
+				strict.achievable++
+			}
+		}
+	}
+	t := &table{header: []string{"Definition 3.10 reading", "classes accepted ≤ bound", "achievable", "precision"}}
+	prec := func(r row) string {
+		if r.classes == 0 {
+			return "1.000"
+		}
+		return fmt.Sprintf("%.3f", float64(r.achievable)/float64(r.classes))
+	}
+	t.add("literal (image-based, SatisfiesWeak)", fmt.Sprint(weak.classes), fmt.Sprint(weak.achievable), prec(weak))
+	t.add("tag-consistent (Satisfies)", fmt.Sprint(strict.classes), fmt.Sprint(strict.achievable), prec(strict))
+	t.write(w, "    ")
+
+	// The strict semantics is exactly tight; the weak one accepts strictly
+	// more classes, none of them achievable beyond the strict set, and is
+	// therefore non-tight. Both must remain sound (accept every achievable
+	// class).
+	check(&out.Pass, strict.classes == strict.achievable)
+	check(&out.Pass, weak.classes > strict.classes)
+	check(&out.Pass, weak.achievable == strict.achievable)
+	out.Notes = append(out.Notes,
+		"under the literal reading, any publication can fill a publication¹ slot, so conference-only members slip through — the s-DTD would not be structurally tight and Example 3.4's claim would fail",
+		"the tag-consistent reading is the one the library uses for all tightness results; the literal reading remains available as SDTD.SatisfiesWeak",
+	)
+	return out, nil
+}

@@ -1,0 +1,109 @@
+package browse
+
+import (
+	"fmt"
+
+	"repro/internal/dtd"
+	"repro/internal/infer"
+	"repro/internal/regex"
+	"repro/internal/xmas"
+)
+
+// Cardinality is a [Min, Max] bound on how many elements a view can
+// contain, derived purely from the DTD — the selectivity information a
+// DTD-aware query optimizer (Section 1's "more efficient plans") gets for
+// free. Max = -1 means unbounded.
+type Cardinality struct {
+	Min int
+	Max int
+}
+
+func (c Cardinality) String() string {
+	if c.Max < 0 {
+		return fmt.Sprintf("%d..∞", c.Min)
+	}
+	return fmt.Sprintf("%d..%d", c.Min, c.Max)
+}
+
+// CardinalityBounds computes how many elements the view can pick, for any
+// source document valid under the DTD. It is exact in the sense of being
+// derived from the inferred view root content model: Min > 0 iff the view
+// is never empty, Max is finite iff the DTD bounds the result size.
+// Recursive views are rejected (like inference itself).
+func CardinalityBounds(q *xmas.Query, src *dtd.DTD) (Cardinality, error) {
+	res, err := infer.Infer(q, src)
+	if err != nil {
+		return Cardinality{}, err
+	}
+	t := res.DTD.Types[res.DTD.Root]
+	if t.PCDATA || t.Model == nil {
+		return Cardinality{}, fmt.Errorf("browse: view root has no content model")
+	}
+	return boundsOf(t.Model), nil
+}
+
+// boundsOf computes the min and max word lengths of a content model
+// (capped: max beyond any finite bound reports unbounded).
+func boundsOf(e regex.Expr) Cardinality {
+	min, max := lengthBounds(e)
+	return Cardinality{Min: min, Max: max}
+}
+
+// lengthBounds returns (shortest word length, longest word length or -1).
+// FAIL (the empty language) returns (0, 0): an always-empty view picks
+// zero elements.
+func lengthBounds(e regex.Expr) (int, int) {
+	switch v := e.(type) {
+	case regex.Empty, regex.Fail:
+		return 0, 0
+	case regex.Atom:
+		return 1, 1
+	case regex.Concat:
+		lo, hi := 0, 0
+		for _, it := range v.Items {
+			l, h := lengthBounds(it)
+			lo += l
+			if hi >= 0 && h >= 0 {
+				hi += h
+			} else {
+				hi = -1
+			}
+		}
+		return lo, hi
+	case regex.Alt:
+		lo, hi := -1, 0
+		for _, it := range v.Items {
+			l, h := lengthBounds(it)
+			if lo < 0 || l < lo {
+				lo = l
+			}
+			if hi >= 0 && h >= 0 {
+				if h > hi {
+					hi = h
+				}
+			} else {
+				hi = -1
+			}
+		}
+		if lo < 0 {
+			lo = 0
+		}
+		return lo, hi
+	case regex.Star:
+		_, h := lengthBounds(v.Sub)
+		if h == 0 {
+			return 0, 0
+		}
+		return 0, -1
+	case regex.Plus:
+		l, h := lengthBounds(v.Sub)
+		if h == 0 {
+			return l, 0
+		}
+		return l, -1
+	case regex.Opt:
+		_, h := lengthBounds(v.Sub)
+		return 0, h
+	}
+	panic(fmt.Sprintf("browse: unknown node %T", e))
+}

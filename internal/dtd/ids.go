@@ -1,0 +1,67 @@
+package dtd
+
+import (
+	"fmt"
+
+	"repro/internal/xmlmodel"
+)
+
+// ValidateIDs checks the ID-uniqueness requirement of a valid document
+// (Appendix A: "no two elements in the document have the same id").
+// The paper's model assumes every element carries an ID (Definition 2.1);
+// by default elements without one are tolerated — the in-memory model
+// treats a missing ID as "not yet assigned" — unless requireAll is set.
+func ValidateIDs(doc *xmlmodel.Document, requireAll bool) error {
+	if doc == nil || doc.Root == nil {
+		return &ValidationError{Path: "/", Msg: "empty document"}
+	}
+	seen := map[string]string{} // id -> first path
+	var verr error
+	path := []string{}
+	var walk func(e *xmlmodel.Element) bool
+	walk = func(e *xmlmodel.Element) bool {
+		path = append(path, e.Name)
+		defer func() { path = path[:len(path)-1] }()
+		p := "/" + join(path)
+		if e.ID == "" {
+			if requireAll {
+				verr = &ValidationError{Path: p, Msg: "element has no ID (Definition 2.1 requires one)"}
+				return false
+			}
+		} else if first, dup := seen[e.ID]; dup {
+			verr = &ValidationError{Path: p,
+				Msg: fmt.Sprintf("duplicate ID %q (first used at %s)", e.ID, first)}
+			return false
+		} else {
+			seen[e.ID] = p
+		}
+		for _, k := range e.Children {
+			if !walk(k) {
+				return false
+			}
+		}
+		return true
+	}
+	walk(doc.Root)
+	return verr
+}
+
+// ValidateFull combines structural validation (Definition 2.3/2.4) with
+// the ID requirements of Appendix A.
+func (d *DTD) ValidateFull(doc *xmlmodel.Document, requireIDs bool) error {
+	if err := d.Validate(doc); err != nil {
+		return err
+	}
+	return ValidateIDs(doc, requireIDs)
+}
+
+func join(parts []string) string {
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += "/"
+		}
+		out += p
+	}
+	return out
+}

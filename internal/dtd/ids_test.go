@@ -1,0 +1,54 @@
+package dtd
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/regex"
+	"repro/internal/xmlmodel"
+)
+
+func TestValidateIDs(t *testing.T) {
+	mk := func(s string) *xmlmodel.Document {
+		doc, _, err := xmlmodel.Parse(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return doc
+	}
+	if err := ValidateIDs(mk(`<a id="1"><b id="2"/><b id="3"/></a>`), true); err != nil {
+		t.Errorf("unique ids: %v", err)
+	}
+	err := ValidateIDs(mk(`<a id="1"><b id="2"/><b id="2"/></a>`), false)
+	if err == nil || !strings.Contains(err.Error(), `duplicate ID "2"`) {
+		t.Errorf("duplicate: %v", err)
+	}
+	if err := ValidateIDs(mk(`<a id="1"><b/></a>`), false); err != nil {
+		t.Errorf("missing id tolerated by default: %v", err)
+	}
+	if err := ValidateIDs(mk(`<a id="1"><b/></a>`), true); err == nil {
+		t.Error("requireAll must reject missing ids")
+	}
+	if err := ValidateIDs(&xmlmodel.Document{}, false); err == nil {
+		t.Error("empty document")
+	}
+}
+
+func TestValidateFull(t *testing.T) {
+	d := New("a")
+	d.Declare("a", M(regex.MustParse("b, b")))
+	d.Declare("b", PC())
+	doc, _, _ := xmlmodel.Parse(`<a id="x"><b id="y">1</b><b id="y">2</b></a>`)
+	if err := d.ValidateFull(doc, false); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Errorf("ValidateFull = %v", err)
+	}
+	good, _, _ := xmlmodel.Parse(`<a id="x"><b id="y">1</b><b id="z">2</b></a>`)
+	if err := d.ValidateFull(good, true); err != nil {
+		t.Errorf("ValidateFull = %v", err)
+	}
+	// Structural violation reported before ID issues.
+	bad, _, _ := xmlmodel.Parse(`<a id="x"><b id="y">1</b></a>`)
+	if err := d.ValidateFull(bad, false); err == nil || !strings.Contains(err.Error(), "content model") {
+		t.Errorf("ValidateFull = %v", err)
+	}
+}

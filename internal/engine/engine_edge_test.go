@@ -1,0 +1,144 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/xmas"
+	"repro/internal/xmlmodel"
+)
+
+// TestBacktrackingStress: many same-named children with nested conditions
+// exercise the injective-assignment search; the memoized structural check
+// must keep it fast. (The guard is the test timeout.)
+func TestBacktrackingStress(t *testing.T) {
+	var b strings.Builder
+	b.WriteString(`<r>`)
+	// 40 groups; only the last two contain the marker.
+	for i := 0; i < 40; i++ {
+		if i >= 38 {
+			fmt.Fprintf(&b, `<g id="g%d"><m/><x/></g>`, i)
+		} else {
+			fmt.Fprintf(&b, `<g id="g%d"><x/></g>`, i)
+		}
+	}
+	b.WriteString(`</r>`)
+	doc := parseDoc(t, b.String())
+	q := xmas.MustParse(`v = SELECT G WHERE <r> <g id=A><m/></g> G:<g id=B><m/></g> </r> AND A != B`)
+	start := time.Now()
+	picks, err := EvalElements(q, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatalf("backtracking took %v; memoization is broken", time.Since(start))
+	}
+	if len(picks) != 2 || picks[0].ID != "g38" || picks[1].ID != "g39" {
+		ids := []string{}
+		for _, p := range picks {
+			ids = append(ids, p.ID)
+		}
+		t.Errorf("picks = %v, want [g38 g39]", ids)
+	}
+}
+
+func TestNeqBetweenAncestorAndDescendant(t *testing.T) {
+	// Ancestor and descendant are always distinct elements; the constraint
+	// is trivially satisfied.
+	doc := parseDoc(t, `<r id="r1"><a id="a1"><b id="b1"/></a></r>`)
+	q := xmas.MustParse(`v = SELECT B WHERE <r> <a id=OUTER> B:<b id=INNER/> </a> </r> AND OUTER != INNER`)
+	ids := pickIDs(t, q.String(), doc)
+	if strings.Join(ids, ",") != "b1" {
+		t.Errorf("picks = %v", ids)
+	}
+}
+
+func TestMultipleNeqChains(t *testing.T) {
+	// Three pairwise-distinct children required.
+	doc3 := parseDoc(t, `<r id="r"><g id="g"><m id="1"/><m id="2"/><m id="3"/></g></r>`)
+	doc2 := parseDoc(t, `<r id="r"><g id="g"><m id="1"/><m id="2"/></g></r>`)
+	q := `v = SELECT G WHERE <r> G:<g> <m id=A/> <m id=B/> <m id=C/> </g> </r> AND A != B AND A != C AND B != C`
+	if ids := pickIDs(t, q, doc3); strings.Join(ids, ",") != "g" {
+		t.Errorf("3 children: picks = %v", ids)
+	}
+	if ids := pickIDs(t, q, doc2); len(ids) != 0 {
+		t.Errorf("2 children cannot satisfy 3 distinct conditions: %v", ids)
+	}
+}
+
+func TestRecursiveStepWithDisjunction(t *testing.T) {
+	doc := parseDoc(t, `<a id="a1">
+	  <b id="b1"><x id="x1"/></b>
+	  <a id="a2"><b id="b2"><x id="x2"/></b></a>
+	</a>`)
+	// Chain over a|b reaches x at any depth.
+	q := `v = SELECT X WHERE <a|b*> X:<x/> </>`
+	ids := pickIDs(t, q, doc)
+	if strings.Join(ids, ",") != "x1,x2" {
+		t.Errorf("picks = %v", ids)
+	}
+}
+
+func TestTextConditionIgnoresElementContent(t *testing.T) {
+	doc := parseDoc(t, `<r id="r"><n id="n1"><sub/></n><n id="n2">CS</n></r>`)
+	q := `v = SELECT N WHERE <r> N:<n>CS</n> </r>`
+	ids := pickIDs(t, q, doc)
+	if strings.Join(ids, ",") != "n2" {
+		t.Errorf("picks = %v", ids)
+	}
+}
+
+func TestEmptyTextVsEmptyElement(t *testing.T) {
+	// An element with empty element-content does not match a text
+	// condition for "" — but our parser canonicalizes; construct directly.
+	root := xmlmodel.NewElement("r",
+		xmlmodel.NewElement("n"),      // empty element content
+		xmlmodel.NewText("n", "CS"),   // text CS
+	)
+	root.Children[0].ID = "empty"
+	root.Children[1].ID = "cs"
+	doc := &xmlmodel.Document{Root: root}
+	q := xmas.MustParse(`v = SELECT N WHERE <r> N:<n>CS</n> </r>`)
+	picks, err := EvalElements(q, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(picks) != 1 || picks[0].ID != "cs" {
+		t.Errorf("picks = %v", picks)
+	}
+}
+
+func TestPicksAreDeduplicatedUnderMultipleEmbeddings(t *testing.T) {
+	// The pick element matches via several different side-condition
+	// embeddings; it must appear once.
+	doc := parseDoc(t, `<r id="r"><g id="g"><m id="1"/><m id="2"/><m id="3"/></g></r>`)
+	q := `v = SELECT G WHERE <r> G:<g> <m/> </g> </r>`
+	ids := pickIDs(t, q, doc)
+	if strings.Join(ids, ",") != "g" {
+		t.Errorf("picks = %v", ids)
+	}
+}
+
+func TestWildcardRecursiveStep(t *testing.T) {
+	// A recursive wildcard step (any chain of any names) has no concrete
+	// syntax, but the engine supports the AST shape; it generalizes
+	// XML-QL's descendant axis.
+	doc := parseDoc(t, `<a id="1"><b id="2"><c id="3"><leaf id="4"/></c></b></a>`)
+	q := &xmas.Query{
+		Name:    "v",
+		PickVar: "X",
+		Root: &xmas.Cond{
+			Recursive: true, // wildcard names + recursive = descend anywhere
+			Children:  []*xmas.Cond{{Names: []string{"leaf"}, Var: "X"}},
+		},
+	}
+	picks, err := EvalElements(q, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(picks) != 1 || picks[0].ID != "4" {
+		t.Errorf("picks = %v", picks)
+	}
+}

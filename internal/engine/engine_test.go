@@ -1,0 +1,292 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/xmas"
+	"repro/internal/xmlmodel"
+)
+
+// deptDoc is a department document conforming to the paper's DTD D1, with
+// professors/students of varying publication profiles:
+//   - prof Ana: two journal papers          → qualifies for Q2
+//   - prof Bob: one journal, one conference → does not qualify
+//   - grad Cyd: three journals              → qualifies
+//   - grad Dan: conferences only            → does not qualify
+const deptDoc = `<department>
+  <name>CS</name>
+  <professor id="ana">
+    <firstName>Ana</firstName><lastName>A</lastName>
+    <publication id="a1"><title>t1</title><author>Ana</author><journal>J1</journal></publication>
+    <publication id="a2"><title>t2</title><author>Ana</author><journal>J2</journal></publication>
+    <teaches>cse100</teaches>
+  </professor>
+  <professor id="bob">
+    <firstName>Bob</firstName><lastName>B</lastName>
+    <publication id="b1"><title>t3</title><author>Bob</author><journal>J1</journal></publication>
+    <publication id="b2"><title>t4</title><author>Bob</author><conference>C1</conference></publication>
+    <teaches>cse101</teaches>
+  </professor>
+  <gradStudent id="cyd">
+    <firstName>Cyd</firstName><lastName>C</lastName>
+    <publication id="c1"><title>t5</title><author>Cyd</author><journal>J1</journal></publication>
+    <publication id="c2"><title>t6</title><author>Cyd</author><journal>J3</journal></publication>
+    <publication id="c3"><title>t7</title><author>Cyd</author><journal>J2</journal></publication>
+  </gradStudent>
+  <gradStudent id="dan">
+    <firstName>Dan</firstName><lastName>D</lastName>
+    <publication id="d1"><title>t8</title><author>Dan</author><conference>C2</conference></publication>
+  </gradStudent>
+</department>`
+
+const q2Text = `withJournals =
+SELECT P
+WHERE <department><name>CS</name>
+        P:<professor|gradStudent>
+           <publication id=Pub1><journal/></publication>
+           <publication id=Pub2><journal/></publication>
+        </>
+      </department>
+AND Pub1 != Pub2`
+
+func parseDoc(t *testing.T, s string) *xmlmodel.Document {
+	t.Helper()
+	doc, _, err := xmlmodel.Parse(s)
+	if err != nil {
+		t.Fatalf("parse doc: %v", err)
+	}
+	return doc
+}
+
+func pickIDs(t *testing.T, q string, doc *xmlmodel.Document) []string {
+	t.Helper()
+	query := xmas.MustParse(q)
+	picks, err := EvalElements(query, doc)
+	if err != nil {
+		t.Fatalf("EvalElements: %v", err)
+	}
+	ids := make([]string, len(picks))
+	for i, e := range picks {
+		ids[i] = e.ID
+	}
+	return ids
+}
+
+func TestQ2TwoDistinctJournals(t *testing.T) {
+	doc := parseDoc(t, deptDoc)
+	ids := pickIDs(t, q2Text, doc)
+	want := []string{"ana", "cyd"}
+	if strings.Join(ids, ",") != strings.Join(want, ",") {
+		t.Errorf("picks = %v, want %v (Pub1 != Pub2 demands two distinct journal publications)", ids, want)
+	}
+}
+
+func TestQ2WithoutNeqAdmitsSingleJournal(t *testing.T) {
+	// Dropping "AND Pub1 != Pub2" but keeping two sibling publication
+	// conditions: sibling conditions still bind to distinct children
+	// (Section 4.2 assumption), so the result is unchanged here.
+	q := strings.Replace(q2Text, "\nAND Pub1 != Pub2", "", 1)
+	doc := parseDoc(t, deptDoc)
+	ids := pickIDs(t, q, doc)
+	if strings.Join(ids, ",") != "ana,cyd" {
+		t.Errorf("picks = %v", ids)
+	}
+	// With only one publication condition, Bob qualifies too.
+	q1 := `SELECT P WHERE <department><name>CS</name>
+	  P:<professor|gradStudent><publication><journal/></publication></>
+	</department>`
+	ids = pickIDs(t, q1, doc)
+	if strings.Join(ids, ",") != "ana,bob,cyd" {
+		t.Errorf("picks = %v, want ana,bob,cyd", ids)
+	}
+}
+
+func TestQ3PicksJournalPublications(t *testing.T) {
+	// Example 3.2's Q3: all publications with a journal subelement.
+	q := `publist =
+	SELECT P
+	WHERE <department><name>CS</name>
+	        <professor|gradStudent>
+	          P:<publication><journal/></publication>
+	        </>
+	      </department>`
+	doc := parseDoc(t, deptDoc)
+	ids := pickIDs(t, q, doc)
+	want := "a1,a2,b1,c1,c2,c3"
+	if strings.Join(ids, ",") != want {
+		t.Errorf("picks = %v, want %s", ids, want)
+	}
+}
+
+func TestViewDocumentShape(t *testing.T) {
+	doc := parseDoc(t, deptDoc)
+	q := xmas.MustParse(q2Text)
+	view, err := Eval(q, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.Root.Name != "withJournals" || view.DocType != "withJournals" {
+		t.Errorf("view root = %s", view.Root.Name)
+	}
+	if len(view.Root.Children) != 2 {
+		t.Fatalf("view children = %d", len(view.Root.Children))
+	}
+	// Picked elements are deep copies, not aliases.
+	view.Root.Children[0].Children[0].Text = "mutated"
+	orig, _, _ := xmlmodel.Parse(deptDoc)
+	if doc.Root.Equal(orig.Root) == false {
+		t.Error("Eval must copy picked elements")
+	}
+	// Document order: ana before cyd, and ana's subtree is intact.
+	if view.Root.Children[0].ID != "ana" || view.Root.Children[1].ID != "cyd" {
+		t.Errorf("order: %s, %s", view.Root.Children[0].ID, view.Root.Children[1].ID)
+	}
+	if len(view.Root.Children[0].Children) != 5 {
+		t.Errorf("ana's children = %d, want full subtree", len(view.Root.Children[0].Children))
+	}
+}
+
+func TestTextConditionFiltersDepartment(t *testing.T) {
+	doc := parseDoc(t, deptDoc)
+	q := `SELECT P WHERE <department><name>EE</name> P:<professor/> </department>`
+	if ids := pickIDs(t, q, doc); len(ids) != 0 {
+		t.Errorf("EE department should not match, got %v", ids)
+	}
+}
+
+func TestRootNameMismatchYieldsEmpty(t *testing.T) {
+	doc := parseDoc(t, deptDoc)
+	q := `SELECT P WHERE <university> P:<professor/> </university>`
+	if ids := pickIDs(t, q, doc); len(ids) != 0 {
+		t.Errorf("got %v", ids)
+	}
+}
+
+func TestWildcardPick(t *testing.T) {
+	doc := parseDoc(t, `<r><a id="1"/><b id="2"><c id="3"/></b></r>`)
+	q := `SELECT X WHERE <r> X:<*/> </r>`
+	ids := pickIDs(t, q, doc)
+	if strings.Join(ids, ",") != "1,2" {
+		t.Errorf("wildcard picks = %v", ids)
+	}
+}
+
+func TestRecursivePath(t *testing.T) {
+	// Example 3.5: prologs and conclusions at any section depth.
+	doc := parseDoc(t, `<section id="s1">
+	  <prolog id="p1"/>
+	  <section id="s2">
+	    <prolog id="p2"/>
+	    <section id="s3"><prolog id="p3"/><conclusion id="c3"/></section>
+	    <conclusion id="c2"/>
+	  </section>
+	  <conclusion id="c1"/>
+	</section>`)
+	q := `startsAndEnds = SELECT X WHERE <section*> X:<prolog|conclusion/> </>`
+	ids := pickIDs(t, q, doc)
+	want := "p1,p2,p3,c3,c2,c1" // document order
+	if strings.Join(ids, ",") != want {
+		t.Errorf("picks = %v, want %s", ids, want)
+	}
+}
+
+func TestRecursiveWithInnerCondition(t *testing.T) {
+	doc := parseDoc(t, `<s id="top">
+	  <s id="mid"><x id="x1"/><marker/></s>
+	  <s id="leaf"><x id="x2"/></s>
+	</s>`)
+	// Only sections (at any depth) that contain a marker expose their x.
+	q := `SELECT X WHERE <s*> X:<x/> <marker/> </>`
+	ids := pickIDs(t, q, doc)
+	if strings.Join(ids, ",") != "x1" {
+		t.Errorf("picks = %v, want x1", ids)
+	}
+}
+
+func TestNeqAcrossBranches(t *testing.T) {
+	doc := parseDoc(t, `<r>
+	  <g id="g1"><m id="m1"/></g>
+	  <g id="g2"><m id="m2"/><m id="m3"/></g>
+	</r>`)
+	// Pick groups that contain two distinct m's.
+	q := `SELECT G WHERE <r> G:<g> <m id=A/> <m id=B/> </g> </r> AND A != B`
+	ids := pickIDs(t, q, doc)
+	if strings.Join(ids, ",") != "g2" {
+		t.Errorf("picks = %v, want g2", ids)
+	}
+}
+
+func TestSiblingDistinctness(t *testing.T) {
+	// Two sibling conditions on the same name require two children even
+	// without an explicit != (Section 4.2 assumption).
+	doc := parseDoc(t, `<r><g id="g1"><m/></g><g id="g2"><m/><m/></g></r>`)
+	q := `SELECT G WHERE <r> G:<g> <m/> <m/> </g> </r>`
+	ids := pickIDs(t, q, doc)
+	if strings.Join(ids, ",") != "g2" {
+		t.Errorf("picks = %v, want g2", ids)
+	}
+}
+
+func TestEmptyViewIsValidDocument(t *testing.T) {
+	doc := parseDoc(t, `<r><a/></r>`)
+	q := xmas.MustParse(`v = SELECT X WHERE <r> X:<b/> </r>`)
+	view, err := Eval(q, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.Root.Name != "v" || len(view.Root.Children) != 0 {
+		t.Errorf("view = %s", xmlmodel.MarshalElement(view.Root, -1))
+	}
+	if Matches(q, doc) {
+		t.Error("Matches must be false for an empty result")
+	}
+}
+
+func TestPickAtRoot(t *testing.T) {
+	doc := parseDoc(t, `<r id="root"><a/></r>`)
+	ids := pickIDs(t, `SELECT X WHERE X:<r><a/></r>`, doc)
+	if strings.Join(ids, ",") != "root" {
+		t.Errorf("picks = %v", ids)
+	}
+}
+
+func TestDeepTextCondition(t *testing.T) {
+	doc := parseDoc(t, deptDoc)
+	// Professors who teach cse101.
+	q := `SELECT P WHERE <department> P:<professor><teaches>cse101</teaches></professor> </department>`
+	ids := pickIDs(t, q, doc)
+	if strings.Join(ids, ",") != "bob" {
+		t.Errorf("picks = %v, want bob", ids)
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	q := &xmas.Query{Name: "v"} // invalid: no pick var, no condition
+	if _, err := Eval(q, parseDoc(t, `<r/>`)); err == nil {
+		t.Error("invalid query must error")
+	}
+	good := xmas.MustParse(`SELECT X WHERE X:<r/>`)
+	if _, err := Eval(good, &xmlmodel.Document{}); err == nil {
+		t.Error("empty document must error")
+	}
+}
+
+func TestSameElementCannotServeTwoSiblingConditions(t *testing.T) {
+	// A single journal publication cannot satisfy both publication
+	// conditions of Q2 even without the != constraint.
+	doc := parseDoc(t, `<department><name>CS</name>
+	  <professor id="solo">
+	    <firstName>S</firstName><lastName>S</lastName>
+	    <publication id="s1"><title>t</title><author>s</author><journal>J</journal></publication>
+	    <teaches>c</teaches>
+	  </professor>
+	  <gradStudent id="g"><firstName>g</firstName><lastName>g</lastName>
+	    <publication id="g1"><title>t</title><author>g</author><journal>J</journal></publication>
+	  </gradStudent>
+	</department>`)
+	ids := pickIDs(t, q2Text, doc)
+	if len(ids) != 0 {
+		t.Errorf("picks = %v, want none", ids)
+	}
+}

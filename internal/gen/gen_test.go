@@ -1,0 +1,169 @@
+package gen
+
+import (
+	"testing"
+
+	"repro/internal/dtd"
+	"repro/internal/regex"
+	"repro/internal/xmlmodel"
+)
+
+const d1Text = `<!DOCTYPE department [
+  <!ELEMENT department (name, professor+, gradStudent+, course*)>
+  <!ELEMENT professor (firstName, lastName, publication+, teaches)>
+  <!ELEMENT gradStudent (firstName, lastName, publication+)>
+  <!ELEMENT publication (title, author+, (journal|conference))>
+  <!ELEMENT name (#PCDATA)> <!ELEMENT firstName (#PCDATA)>
+  <!ELEMENT lastName (#PCDATA)> <!ELEMENT title (#PCDATA)>
+  <!ELEMENT author (#PCDATA)> <!ELEMENT journal (#PCDATA)>
+  <!ELEMENT conference (#PCDATA)> <!ELEMENT course (#PCDATA)>
+  <!ELEMENT teaches (#PCDATA)>
+]>`
+
+func mustDTD(t *testing.T, s string) *dtd.DTD {
+	t.Helper()
+	d, err := dtd.Parse(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestGeneratedDocumentsAreValid(t *testing.T) {
+	d := mustDTD(t, d1Text)
+	g, err := New(d, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, doc := range g.Corpus(200) {
+		if err := d.Validate(doc); err != nil {
+			t.Fatalf("doc %d invalid: %v", i, err)
+		}
+	}
+}
+
+func TestRecursiveDTDTerminatesAndValidates(t *testing.T) {
+	d := mustDTD(t, `<!DOCTYPE section [
+	  <!ELEMENT section (prolog, section*, conclusion)>
+	  <!ELEMENT prolog (#PCDATA)> <!ELEMENT conclusion (#PCDATA)>
+	]>`)
+	g, err := New(d, Options{Seed: 7, MaxDepth: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, doc := range g.Corpus(100) {
+		if err := d.Validate(doc); err != nil {
+			t.Fatalf("doc %d invalid: %v", i, err)
+		}
+	}
+}
+
+func TestMutuallyRecursiveDTD(t *testing.T) {
+	d := mustDTD(t, `<!DOCTYPE a [
+	  <!ELEMENT a (b | leaf)>
+	  <!ELEMENT b (a, a?)>
+	  <!ELEMENT leaf (#PCDATA)>
+	]>`)
+	g, err := New(d, Options{Seed: 3, MaxDepth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, doc := range g.Corpus(100) {
+		if err := d.Validate(doc); err != nil {
+			t.Fatalf("doc %d invalid: %v", i, err)
+		}
+	}
+}
+
+func TestUnrealizableRootRejected(t *testing.T) {
+	d := dtd.New("loop")
+	d.Declare("loop", dtd.M(regex.MustParse("loop")))
+	if _, err := New(d, Options{Seed: 1}); err == nil {
+		t.Error("unrealizable document type must be rejected")
+	}
+}
+
+func TestUnrealizableBranchAvoided(t *testing.T) {
+	// The b-branch is unrealizable; every generated document must use a.
+	d := mustDTD(t, `<!DOCTYPE r [
+	  <!ELEMENT r (a | b)>
+	  <!ELEMENT a (#PCDATA)>
+	  <!ELEMENT b (b)>
+	]>`)
+	g, err := New(d, Options{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, doc := range g.Corpus(100) {
+		if err := d.Validate(doc); err != nil {
+			t.Fatalf("doc %d invalid: %v", i, err)
+		}
+		if doc.Root.Children[0].Name != "a" {
+			t.Fatalf("doc %d used unrealizable branch b", i)
+		}
+	}
+}
+
+func TestDeterminismAndSeedVariation(t *testing.T) {
+	d := mustDTD(t, d1Text)
+	g1, _ := New(d, Options{Seed: 42})
+	g2, _ := New(d, Options{Seed: 42})
+	a := g1.Document()
+	b := g2.Document()
+	if !a.Root.Equal(b.Root) {
+		t.Error("same seed must generate the same document")
+	}
+	g3, _ := New(d, Options{Seed: 43})
+	diff := false
+	for i := 0; i < 10 && !diff; i++ {
+		if !g1.Document().Root.StructuralEqual(g3.Document().Root) {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Error("different seeds should eventually diverge")
+	}
+}
+
+func TestAssignIDs(t *testing.T) {
+	d := mustDTD(t, d1Text)
+	g, _ := New(d, Options{Seed: 5, AssignIDs: true})
+	doc := g.Document()
+	seen := map[string]bool{}
+	doc.Root.Walk(func(e *xmlmodel.Element) bool {
+		if e.ID == "" {
+			t.Errorf("element %s has no ID", e.Name)
+		}
+		if seen[e.ID] {
+			t.Errorf("duplicate ID %s", e.ID)
+		}
+		seen[e.ID] = true
+		return true
+	})
+}
+
+func TestLengthBiasShapesDocuments(t *testing.T) {
+	d := mustDTD(t, d1Text)
+	short, _ := New(d, Options{Seed: 9, LengthBias: 0.9})
+	long, _ := New(d, Options{Seed: 9, LengthBias: 0.05})
+	sSize, lSize := 0, 0
+	for i := 0; i < 30; i++ {
+		sSize += short.Document().Root.Size()
+		lSize += long.Document().Root.Size()
+	}
+	if sSize >= lSize {
+		t.Errorf("low bias should give larger documents: short=%d long=%d", sSize, lSize)
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	d := mustDTD(t, d1Text)
+	g, _ := New(d, Options{Seed: 2})
+	s := Describe(g.Corpus(3))
+	if s == "" {
+		t.Error("empty description")
+	}
+	if Describe(nil) == "" {
+		t.Error("empty corpus description")
+	}
+}

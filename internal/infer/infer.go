@@ -1,0 +1,486 @@
+package infer
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/automata"
+	"repro/internal/dtd"
+	"repro/internal/regex"
+	"repro/internal/sdtd"
+	"repro/internal/xmas"
+)
+
+// ErrRecursivePath is returned when the view definition contains a
+// recursive path step (<name*>): the one-level extension step of the
+// list-inference algorithm makes inference inappropriate for such queries
+// (Section 4.4, footnote 9), and Section 3.4 shows some of them have no
+// tightest DTD at all.
+var ErrRecursivePath = errors.New("infer: view has a recursive path expression; no tightest DTD may exist (Section 3.4)")
+
+// Class is the side-effect classification of Section 4.2: how a tree
+// condition relates to the source DTD.
+type Class int
+
+const (
+	// Unsatisfiable: no document satisfying the DTD satisfies the
+	// condition; the view DTD describes an empty answer.
+	Unsatisfiable Class = iota
+	// Satisfiable: some but (as far as the DTD shows) not all documents
+	// satisfy the condition.
+	Satisfiable
+	// Valid: every document satisfying the DTD satisfies the condition.
+	Valid
+)
+
+func (c Class) String() string {
+	switch c {
+	case Unsatisfiable:
+		return "unsatisfiable"
+	case Satisfiable:
+		return "satisfiable"
+	case Valid:
+		return "valid"
+	}
+	return fmt.Sprintf("Class(%d)", int(c))
+}
+
+// Result is the output of view DTD inference.
+type Result struct {
+	// SDTD is the specialized view DTD (normalized: redundant
+	// specializations collapsed).
+	SDTD *sdtd.SDTD
+	// DTD is the plain view DTD obtained by merging the s-DTD
+	// (Section 4.3), with content models simplified.
+	DTD *dtd.DTD
+	// Class classifies the view's condition against the source DTD.
+	Class Class
+	// Merges lists the specialization merges performed when converting to
+	// the plain DTD; entries with Distinct=true signal non-tightness
+	// introduced by the merge, which the view inference module reports to
+	// the user (Example 4.3).
+	Merges []sdtd.MergeEvent
+	// NonTight is true when at least one merge lost information: the plain
+	// DTD is then strictly less tight than the s-DTD.
+	NonTight bool
+}
+
+// validityCheckSizeLimit bounds the combined AST size at which the
+// valid-vs-satisfiable language comparison is still attempted; beyond it
+// the classification falls back to Satisfiable (sound, less tight).
+const validityCheckSizeLimit = 4096
+
+// spec is the specialization inferred for one (condition, name) pair.
+type spec struct {
+	name  regex.Name // the allocated tagged name
+	typ   dtd.Type   // its refined type
+	class Class      // valid / satisfiable / unsatisfiable for this name
+}
+
+type inferencer struct {
+	src     *dtd.DTD
+	q       *xmas.Query
+	nextTag map[string]int
+	// full memoizes tightenCond results (full refinement, all children).
+	full map[*xmas.Cond]map[string]*spec
+}
+
+// Infer derives the view DTD for a pick-element query over the source DTD.
+// It returns ErrRecursivePath for recursive views and an error for invalid
+// queries; an unsatisfiable (empty) view is not an error — the result's
+// Class says so and the DTD describes the empty view document.
+func Infer(q *xmas.Query, src *dtd.DTD) (*Result, error) {
+	if errs := q.Validate(); len(errs) > 0 {
+		return nil, fmt.Errorf("infer: invalid query: %v", errs[0])
+	}
+	if q.Root.HasRecursive() {
+		return nil, ErrRecursivePath
+	}
+	if errs := src.Check(); len(errs) > 0 {
+		return nil, fmt.Errorf("infer: inconsistent source DTD: %v", errs[0])
+	}
+	if _, clash := src.Types[q.Name]; clash {
+		return nil, fmt.Errorf("infer: view name %q collides with a source element name", q.Name)
+	}
+	in := &inferencer{
+		src:     src,
+		q:       q,
+		nextTag: map[string]int{},
+		full:    map[*xmas.Cond]map[string]*spec{},
+	}
+	path, err := q.PathToPick()
+	if err != nil {
+		return nil, err
+	}
+
+	// Result-list type inference (Section 4.4) yields the content model of
+	// the view's top element over the pick specializations.
+	listType := in.inferList(path)
+
+	// Assemble the specialized view DTD.
+	view := sdtd.New(regex.N(q.Name))
+	view.Declare(regex.N(q.Name), dtd.M(automata.Reduce(listType)))
+	pick := path[len(path)-1]
+	in.declareSubtree(view, pick)
+	in.pull(view)
+	pruneUnreachable(view)
+	view = view.Normalize()
+
+	plain, events, err := view.Merge()
+	if err != nil {
+		return nil, fmt.Errorf("infer: %v", err)
+	}
+	nonTight := false
+	for _, ev := range events {
+		if ev.Distinct {
+			nonTight = true
+		}
+	}
+	return &Result{
+		SDTD:     view,
+		DTD:      plain,
+		Class:    in.queryClass(),
+		Merges:   events,
+		NonTight: nonTight,
+	}, nil
+}
+
+// effNames returns the names the condition can match among the DTD's
+// declared names, in DTD declaration order (wildcard = all names, the
+// paper's preprocessing of name variables).
+func (in *inferencer) effNames(c *xmas.Cond) []string {
+	if len(c.Names) == 0 {
+		return in.src.Names()
+	}
+	var out []string
+	for _, n := range in.src.Names() {
+		if c.MatchesName(n) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func (in *inferencer) allocTag(base string) regex.Name {
+	in.nextTag[base]++
+	return regex.T(base, in.nextTag[base])
+}
+
+// tightenCond computes, for every name the condition can match, the
+// specialization obtained by refining the name's source type with all of
+// the condition's subconditions (Figure 2). Results are memoized per
+// condition node.
+func (in *inferencer) tightenCond(c *xmas.Cond) map[string]*spec {
+	if m, ok := in.full[c]; ok {
+		return m
+	}
+	m := in.refineWith(c, c.Children)
+	in.full[c] = m
+	return m
+}
+
+// childSel is one child condition's contribution to its parent's
+// refinement: the names it can match (with their allocated tags) and its
+// own classification.
+type childSel struct {
+	sel   map[string]regex.Name
+	class Class
+}
+
+// refineWith computes the per-name specializations of condition c using the
+// given subset of its children (the full set for ordinary tightening; all
+// but the path child when computing the side-refined types that feed list
+// inference).
+func (in *inferencer) refineWith(c *xmas.Cond, children []*xmas.Cond) map[string]*spec {
+	out := map[string]*spec{}
+	// Recurse into children once; shared across this condition's names.
+	var sels []childSel
+	for _, cc := range children {
+		specs := in.tightenCond(cc)
+		cs := childSel{sel: map[string]regex.Name{}, class: Valid}
+		for _, base := range sortedKeys(specs) {
+			sp := specs[base]
+			if sp.class == Unsatisfiable {
+				continue
+			}
+			cs.sel[base] = sp.name
+			if sp.class != Valid {
+				cs.class = Satisfiable
+			}
+		}
+		if len(cs.sel) == 0 {
+			cs.class = Unsatisfiable
+		}
+		sels = append(sels, cs)
+	}
+
+	for _, n := range in.effNames(c) {
+		srcType := in.src.Types[n]
+		sp := &spec{name: in.allocTag(n)}
+		switch {
+		case c.HasText:
+			// A string condition needs PCDATA content; the DTD cannot
+			// guarantee the particular string, so it is never valid.
+			if srcType.PCDATA {
+				sp.typ = dtd.PC()
+				sp.class = Satisfiable
+			} else {
+				sp.class = Unsatisfiable
+			}
+		case len(children) == 0:
+			// Pure existence of the name: the type is untouched and, given
+			// an element of this name exists, the condition always holds.
+			sp.typ = srcType
+			sp.class = Valid
+		case srcType.PCDATA:
+			// Subconditions can never match inside character content.
+			sp.class = Unsatisfiable
+		default:
+			t := srcType.Model
+			class := Valid
+			for _, cs := range sels {
+				if cs.class == Unsatisfiable {
+					t = regex.Bot()
+					break
+				}
+				t = automata.Reduce(Refine(t, cs.sel))
+				if regex.IsFail(t) {
+					break
+				}
+				if cs.class != Valid {
+					class = Satisfiable
+				}
+			}
+			if regex.IsFail(t) {
+				sp.class = Unsatisfiable
+				break
+			}
+			// Valid iff the refinement did not shrink the image language:
+			// "if the refinement included an elimination of a disjunct or a
+			// refinement of a star expression, indicate that the condition
+			// is not satisfied by all instances" (Figure 2).
+			if class == Valid && !refinementIsValid(srcType.Model, sels) {
+				class = Satisfiable
+			}
+			sp.typ = dtd.M(t)
+			sp.class = class
+		}
+		if sp.class == Unsatisfiable {
+			sp.typ = dtd.M(regex.Bot())
+		}
+		out[n] = sp
+	}
+	return out
+}
+
+// refinementIsValid decides whether every word of the model admits an
+// injective assignment of the child selections to occurrences — i.e.
+// whether the sequential refinement removed nothing from the language.
+//
+// When the selections' base-name sets are pairwise identical or disjoint
+// (the overwhelmingly common shape), this reduces exactly to an occurrence
+// count per group — every accepted word must carry at least `count`
+// positions drawn from the group's names — decided on the model's DFA with
+// a capped counter in O(states × alphabet × count). This avoids
+// compiling the refined expression, whose "which position hosts the
+// occurrence" alternation makes subset construction blow up on union-view
+// scale models. Overlapping, non-identical selections fall back to the
+// language-containment check, size-limited (too large ⇒ conservatively
+// not valid; sound, merely less tight).
+func refinementIsValid(model regex.Expr, sels []childSel) bool {
+	type group struct {
+		bases map[string]bool
+		key   string
+		count int
+	}
+	var groups []group
+	for _, cs := range sels {
+		bases := map[string]bool{}
+		for b := range cs.sel {
+			bases[b] = true
+		}
+		key := strings.Join(sortedKeys(bases), "\x00")
+		found := false
+		for i := range groups {
+			if groups[i].key == key {
+				groups[i].count++
+				found = true
+				break
+			}
+		}
+		if !found {
+			groups = append(groups, group{bases: bases, key: key, count: 1})
+		}
+	}
+	// Pairwise disjointness between distinct groups.
+	disjoint := true
+	for i := 0; i < len(groups) && disjoint; i++ {
+		for j := i + 1; j < len(groups) && disjoint; j++ {
+			for b := range groups[i].bases {
+				if groups[j].bases[b] {
+					disjoint = false
+					break
+				}
+			}
+		}
+	}
+	if disjoint {
+		for _, g := range groups {
+			if !atLeastOccurrences(model, g.bases, g.count) {
+				return false
+			}
+		}
+		return true
+	}
+	// Fallback: explicit refinement + containment, bounded.
+	t := model
+	for _, cs := range sels {
+		t = regex.Simplify(Refine(t, cs.sel))
+		if regex.IsFail(t) {
+			return false
+		}
+	}
+	img := regex.Image(t)
+	if regex.Size(img)+regex.Size(model) > validityCheckSizeLimit {
+		return false // conservative
+	}
+	return automata.Contains(model, img)
+}
+
+// atLeastOccurrences reports whether every word of L(model) contains at
+// least k positions whose (untagged) name lies in bases.
+func atLeastOccurrences(model regex.Expr, bases map[string]bool, k int) bool {
+	d := automata.FromExpr(model)
+	counting := make([]bool, len(d.Alphabet))
+	for ai, n := range d.Alphabet {
+		counting[ai] = n.Tag == 0 && bases[n.Base]
+	}
+	// BFS over (state, min(count, k)).
+	type ps struct{ s, c int }
+	seen := map[ps]bool{{d.Start, 0}: true}
+	queue := []ps{{d.Start, 0}}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if d.Accept[cur.s] && cur.c < k {
+			return false
+		}
+		for ai := range d.Alphabet {
+			nc := cur.c
+			if counting[ai] && nc < k {
+				nc++
+			}
+			np := ps{d.Trans[cur.s][ai], nc}
+			if !seen[np] {
+				seen[np] = true
+				queue = append(queue, np)
+			}
+		}
+	}
+	return true
+}
+
+// queryClass classifies the whole condition against the source document
+// type (the side effect of Section 4.2).
+func (in *inferencer) queryClass() Class {
+	root := in.q.Root
+	if !root.MatchesName(in.src.Root) {
+		return Unsatisfiable
+	}
+	sp, ok := in.tightenCond(root)[in.src.Root]
+	if !ok {
+		return Unsatisfiable
+	}
+	return sp.class
+}
+
+// declareSubtree declares in the view s-DTD every specialization of the
+// pick condition and of all conditions below it — the types of the
+// elements that can appear in the view.
+func (in *inferencer) declareSubtree(view *sdtd.SDTD, c *xmas.Cond) {
+	for _, base := range sortedKeys(in.tightenCond(c)) {
+		sp := in.tightenCond(c)[base]
+		if sp.class == Unsatisfiable {
+			continue
+		}
+		view.Declare(sp.name, sp.typ)
+	}
+	for _, cc := range c.Children {
+		in.declareSubtree(view, cc)
+	}
+}
+
+// pull copies, for every untagged name referenced by a declared type but
+// not yet declared, its source definition into the view s-DTD — the "pull"
+// step of Figure 2 that completes the view DTD with the unrefined types.
+func (in *inferencer) pull(view *sdtd.SDTD) {
+	for {
+		var missing []regex.Name
+		seen := map[regex.Name]bool{}
+		for _, n := range view.Names() {
+			t := view.Types[n]
+			if t.PCDATA || t.Model == nil {
+				continue
+			}
+			for _, m := range regex.Names(t.Model) {
+				if _, declared := view.Types[m]; !declared && !seen[m] {
+					seen[m] = true
+					missing = append(missing, m)
+				}
+			}
+		}
+		if len(missing) == 0 {
+			return
+		}
+		for _, m := range missing {
+			if m.Tag != 0 {
+				// Cannot happen for inferred s-DTDs: every tag we mint is
+				// declared alongside its use.
+				panic(fmt.Sprintf("infer: undeclared tagged name %s", m))
+			}
+			src, ok := in.src.Types[m.Base]
+			if !ok {
+				panic(fmt.Sprintf("infer: name %s not in source DTD", m.Base))
+			}
+			view.Declare(m, src)
+		}
+	}
+}
+
+// pruneUnreachable drops declarations not reachable from the view root —
+// the paper's first tightening step: keep "only the types for the names
+// that may appear in the view documents".
+func pruneUnreachable(view *sdtd.SDTD) {
+	reach := map[regex.Name]bool{view.Root: true}
+	work := []regex.Name{view.Root}
+	for len(work) > 0 {
+		n := work[len(work)-1]
+		work = work[:len(work)-1]
+		t, ok := view.Types[n]
+		if !ok || t.PCDATA || t.Model == nil {
+			continue
+		}
+		for _, m := range regex.Names(t.Model) {
+			if !reach[m] {
+				reach[m] = true
+				work = append(work, m)
+			}
+		}
+	}
+	for _, n := range view.Names() {
+		if !reach[n] {
+			delete(view.Types, n)
+		}
+	}
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

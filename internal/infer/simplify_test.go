@@ -1,0 +1,166 @@
+package infer
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/gen"
+	"repro/internal/xmas"
+	"repro/internal/xmlmodel"
+)
+
+// TestSimplifyPrunesValidCondition: every professor has a publication
+// (publication+ in D1), so the existence test is redundant and pruned.
+func TestSimplifyPrunesValidCondition(t *testing.T) {
+	q := xmas.MustParse(`v = SELECT X WHERE <department> X:<professor><publication/></professor> </department>`)
+	out, rep, err := SimplifyQuery(q, mustDTD(t, d1Text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Class != Valid {
+		t.Errorf("class = %v", rep.Class)
+	}
+	if rep.PrunedConditions != 1 {
+		t.Errorf("pruned = %d, want 1", rep.PrunedConditions)
+	}
+	pick := out.Root.Children[0]
+	if len(pick.Children) != 0 {
+		t.Errorf("publication condition not pruned: %s", out)
+	}
+}
+
+func TestSimplifyKeepsSatisfiableCondition(t *testing.T) {
+	// <journal/> inside publication is satisfiable, not valid: keep it.
+	q := xmas.MustParse(`v = SELECT X WHERE <department><professor> X:<publication><journal/></publication> </professor></department>`)
+	out, rep, err := SimplifyQuery(q, mustDTD(t, d1Text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PrunedConditions != 0 {
+		t.Errorf("pruned = %d, want 0\n%s", rep.PrunedConditions, out)
+	}
+}
+
+func TestSimplifyKeepsBindingConditions(t *testing.T) {
+	// The publication conditions carry IDs used in !=; they must survive
+	// even though primitive existence would be valid.
+	q := xmas.MustParse(q2Text)
+	out, rep, err := SimplifyQuery(q, mustDTD(t, d1Text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PrunedConditions != 0 {
+		t.Errorf("pruned = %d, want 0", rep.PrunedConditions)
+	}
+	if len(out.Neq) != 1 {
+		t.Errorf("Neq lost")
+	}
+}
+
+func TestSimplifyKeepsTextConditions(t *testing.T) {
+	q := xmas.MustParse(`v = SELECT X WHERE <department><name>CS</name> X:<professor/> </department>`)
+	out, rep, err := SimplifyQuery(q, mustDTD(t, d1Text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PrunedConditions != 0 {
+		t.Errorf("string conditions must never be pruned\n%s", out)
+	}
+}
+
+func TestSimplifyDropsUnsatisfiableNames(t *testing.T) {
+	q := xmas.MustParse(`v = SELECT X WHERE <department> X:<professor|dean|gradStudent/> </department>`)
+	out, rep, err := SimplifyQuery(q, mustDTD(t, d1Text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DroppedNames != 1 {
+		t.Errorf("dropped = %d, want 1 (dean)", rep.DroppedNames)
+	}
+	pick := out.Root.Children[0]
+	if strings.Join(pick.Names, ",") != "professor,gradStudent" {
+		t.Errorf("names = %v", pick.Names)
+	}
+}
+
+func TestSimplifyUnsatisfiableQuery(t *testing.T) {
+	q := xmas.MustParse(`v = SELECT X WHERE <department> X:<dean/> </department>`)
+	_, rep, err := SimplifyQuery(q, mustDTD(t, d1Text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Class != Unsatisfiable {
+		t.Errorf("class = %v", rep.Class)
+	}
+}
+
+func TestSimplifyGuardsSiblingOverlap(t *testing.T) {
+	// Two sibling conditions on publication: pruning the bare one would
+	// weaken the two-distinct-children requirement.
+	q := xmas.MustParse(`v = SELECT X WHERE <department>
+	  X:<professor> <publication/> <publication><journal/></publication> </professor>
+	</department>`)
+	out, rep, err := SimplifyQuery(q, mustDTD(t, d1Text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PrunedConditions != 0 {
+		t.Errorf("sibling-overlapping condition must not be pruned\n%s", out)
+	}
+}
+
+func TestSimplifyRecursiveQueryPassesThrough(t *testing.T) {
+	sec := `<!DOCTYPE section [
+	  <!ELEMENT section (prolog, section*, conclusion)>
+	  <!ELEMENT prolog (#PCDATA)> <!ELEMENT conclusion (#PCDATA)>
+	]>`
+	q := xmas.MustParse(`v = SELECT X WHERE <section*> X:<prolog/> </>`)
+	out, rep, err := SimplifyQuery(q, mustDTD(t, sec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Class != Satisfiable || out.String() != q.String() {
+		t.Errorf("recursive query must pass through unchanged")
+	}
+}
+
+// TestSimplifyPreservesSemantics: on random documents, the simplified
+// query returns exactly the same picks as the original.
+func TestSimplifyPreservesSemantics(t *testing.T) {
+	src := mustDTD(t, d1Text)
+	queries := []string{
+		`v = SELECT X WHERE <department> X:<professor><publication/></professor> </department>`,
+		`v = SELECT X WHERE <department> X:<professor|dean|gradStudent/> </department>`,
+		`v = SELECT X WHERE <department><name>CS</name> X:<gradStudent><publication><journal/></publication></gradStudent> </department>`,
+		`v = SELECT X WHERE <department> X:<professor><firstName/><lastName/><teaches/></professor> </department>`,
+		q2Text,
+	}
+	g, err := gen.New(src, gen.Options{Seed: 99, AssignIDs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := g.Corpus(60)
+	for _, qs := range queries {
+		q := xmas.MustParse(qs)
+		sq, _, err := SimplifyQuery(q, src)
+		if err != nil {
+			t.Fatalf("%s: %v", qs, err)
+		}
+		for i, doc := range docs {
+			a, err := engine.Eval(q, doc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := engine.Eval(sq, doc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !a.Root.Equal(b.Root) {
+				t.Fatalf("simplification changed semantics on doc %d:\noriginal: %s\nsimplified: %s\nquery:\n%s\nvs\n%s\ndoc: %s",
+					i, xmlmodel.MarshalElement(a.Root, -1), xmlmodel.MarshalElement(b.Root, -1), q, sq,
+					xmlmodel.MarshalElement(doc.Root, -1))
+			}
+		}
+	}
+}

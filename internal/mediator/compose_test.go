@@ -1,0 +1,256 @@
+package mediator
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/dtd"
+	"repro/internal/engine"
+	"repro/internal/gen"
+	"repro/internal/xmas"
+	"repro/internal/xmlmodel"
+)
+
+// composeEquivalence checks the defining property of composition: for a
+// query q over view v, evaluating Compose(v, q) against the source gives
+// exactly the same result as evaluating q against the materialized view.
+func composeEquivalence(t *testing.T, viewDef, q *xmas.Query, doc *xmlmodel.Document) {
+	t.Helper()
+	view, err := engine.Eval(viewDef, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := engine.Eval(q, view)
+	if err != nil {
+		t.Fatal(err)
+	}
+	composed, err := Compose(viewDef, q)
+	if errors.Is(err, ErrEmptyComposition) {
+		if len(want.Root.Children) != 0 {
+			t.Fatalf("composition claims empty but materialized gives %d results", len(want.Root.Children))
+		}
+		return
+	}
+	if err != nil {
+		t.Fatalf("Compose: %v", err)
+	}
+	got, err := engine.Eval(composed, doc)
+	if err != nil {
+		t.Fatalf("eval composed: %v\n%s", err, composed)
+	}
+	if !got.Root.Equal(want.Root) {
+		t.Fatalf("composition mismatch:\ncomposed: %s\nmaterialized: %s\ncomposed query:\n%s",
+			xmlmodel.MarshalElement(got.Root, -1), xmlmodel.MarshalElement(want.Root, -1), composed)
+	}
+}
+
+const composeDoc = `<department>
+  <name>CS</name>
+  <professor id="ana">
+    <firstName>Ana</firstName><lastName>A</lastName>
+    <publication id="a1"><title>t1</title><author>Ana</author><journal>J1</journal></publication>
+    <publication id="a2"><title>t2</title><author>Ana</author><journal>J2</journal></publication>
+    <teaches>cse100</teaches>
+  </professor>
+  <professor id="bob">
+    <firstName>Bob</firstName><lastName>B</lastName>
+    <publication id="b1"><title>t3</title><author>Bob</author><conference>C1</conference></publication>
+    <teaches>cse101</teaches>
+  </professor>
+  <gradStudent id="cyd">
+    <firstName>Cyd</firstName><lastName>C</lastName>
+    <publication id="c1"><title>t5</title><author>Cyd</author><journal>J1</journal></publication>
+    <publication id="c2"><title>t6</title><author>Cyd</author><journal>J3</journal></publication>
+  </gradStudent>
+</department>`
+
+var composeView = xmas.MustParse(`members =
+SELECT M
+WHERE <department><name>CS</name>
+        M:<professor|gradStudent><publication><journal/></publication></>
+      </department>`)
+
+// plainView picks members without side conditions on their content, so
+// grafted publication conditions never collide with view conditions.
+var plainView = xmas.MustParse(`members =
+SELECT M
+WHERE <department><name>CS</name> M:<professor|gradStudent/> </department>`)
+
+func TestComposeDrillDown(t *testing.T) {
+	doc, _, err := xmlmodel.Parse(composeDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withJournalViewCases := []string{
+		// Pick the view members themselves, restricted to professors.
+		`profs = SELECT X WHERE <members> X:<professor/> </members>`,
+		// Extra conditions on the member, disjoint from the view's.
+		`busy = SELECT X WHERE <members> X:<professor><teaches>cse100</teaches></professor> </members>`,
+		// Wildcard member restriction.
+		`all = SELECT X WHERE <members> X:<*/> </members>`,
+		// Name the view never picks: empty composition.
+		`none = SELECT X WHERE <members> X:<course/> </members>`,
+		// Text test deep below (firstName is disjoint from publication).
+		`who = SELECT F WHERE <members> <professor> F:<firstName>Ana</firstName> </professor> </members>`,
+	}
+	for _, qs := range withJournalViewCases {
+		q := xmas.MustParse(qs)
+		t.Run(q.Name, func(t *testing.T) {
+			composeEquivalence(t, composeView, q, doc)
+		})
+	}
+	plainViewCases := []string{
+		// Pick inside the members.
+		`titles = SELECT T WHERE <members> <professor|gradStudent> <publication> T:<title/> </publication> </> </members>`,
+		// Distinctness constraints inside the grafted subtree.
+		`multi = SELECT X WHERE <members> X:<*> <publication id=A/> <publication id=B/> </> </members> AND A != B`,
+	}
+	for _, qs := range plainViewCases {
+		q := xmas.MustParse(qs)
+		t.Run(q.Name+"-plainView", func(t *testing.T) {
+			composeEquivalence(t, plainView, q, doc)
+		})
+	}
+}
+
+// TestComposeOverlapFallsBack: when the query's conditions could compete
+// with the view's for the same child, composition must refuse (the
+// sibling-distinctness semantics would otherwise over-constrain) and the
+// caller materializes instead.
+func TestComposeOverlapFallsBack(t *testing.T) {
+	q := xmas.MustParse(`titles = SELECT T WHERE <members> <professor|gradStudent> <publication> T:<title/> </publication> </> </members>`)
+	if _, err := Compose(composeView, q); !errors.Is(err, ErrNotComposable) {
+		t.Errorf("overlapping publication conditions must not compose: %v", err)
+	}
+}
+
+func TestComposeVariableCollision(t *testing.T) {
+	doc, _, err := xmlmodel.Parse(composeDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// q reuses the view's variable name M for its own inner binding.
+	q := xmas.MustParse(`clash = SELECT M WHERE <members> <professor> M:<publication><journal/></publication> </professor> </members>`)
+	composeEquivalence(t, plainView, q, doc)
+	composed, err := Compose(plainView, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if composed.PickVar == "M" {
+		t.Errorf("q's M must have been renamed away from the view's M: %s", composed)
+	}
+}
+
+func TestComposeAliasesViewPick(t *testing.T) {
+	doc, _, err := xmlmodel.Parse(composeDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := xmas.MustParse(`pickMembers = SELECT X WHERE <members> X:<professor|gradStudent/> </members>`)
+	composed, err := Compose(composeView, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if composed.PickVar != "M" {
+		t.Errorf("picking the members must reuse the view's pick var, got %q", composed.PickVar)
+	}
+	composeEquivalence(t, composeView, q, doc)
+}
+
+func TestComposeRejections(t *testing.T) {
+	twoKids := xmas.MustParse(`v = SELECT X WHERE <members> X:<professor/> <gradStudent/> </members>`)
+	if _, err := Compose(composeView, twoKids); !errors.Is(err, ErrNotComposable) {
+		t.Errorf("two root children: %v", err)
+	}
+	recView := xmas.MustParse(`r = SELECT X WHERE <s*> X:<p/> </>`)
+	q := xmas.MustParse(`v = SELECT X WHERE <r> X:<p/> </r>`)
+	if _, err := Compose(recView, q); !errors.Is(err, ErrNotComposable) {
+		t.Errorf("recursive view: %v", err)
+	}
+	wrongRoot := xmas.MustParse(`v = SELECT X WHERE <otherView> X:<professor/> </otherView>`)
+	if _, err := Compose(composeView, wrongRoot); !errors.Is(err, ErrEmptyComposition) {
+		t.Errorf("wrong root: %v", err)
+	}
+	boundRoot := xmas.MustParse(`v = SELECT X WHERE R:<members> X:<professor/> </members>`)
+	if _, err := Compose(composeView, boundRoot); !errors.Is(err, ErrNotComposable) {
+		t.Errorf("bound root: %v", err)
+	}
+}
+
+// TestComposeRandomizedEquivalence fuzzes composition against
+// materialization over generated corpora.
+func TestComposeRandomizedEquivalence(t *testing.T) {
+	d, err := dtd.Parse(d1Text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := gen.New(d, gen.Options{Seed: 31, AssignIDs: true, LengthBias: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []string{
+		`a = SELECT X WHERE <members> X:<professor/> </members>`,
+		`b = SELECT T WHERE <members> <gradStudent> <publication> T:<title/> </publication> </gradStudent> </members>`,
+		`c = SELECT X WHERE <members> X:<*> <publication id=A><journal/></publication> <publication id=B><journal/></publication> </> </members> AND A != B`,
+		`d = SELECT P WHERE <members> <professor> P:<publication><journal/></publication> </professor> </members>`,
+		`e = SELECT X WHERE <members> X:<professor><teaches/></professor> </members>`,
+	}
+	for i := 0; i < 25; i++ {
+		doc := g.Document()
+		for _, qs := range queries {
+			composeEquivalence(t, plainView, xmas.MustParse(qs), doc)
+			composeEquivalence(t, composeView, xmas.MustParse(`a2 = SELECT X WHERE <members> X:<gradStudent/> </members>`), doc)
+		}
+	}
+}
+
+// TestQueryComposedOnUnionView checks the mediator-level path, including
+// union views, against the materializing path.
+func TestQueryComposedOnUnionView(t *testing.T) {
+	m := newDeptMediator(t)
+	d2, err := dtd.Parse(d2SiteText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc2, _, err := xmlmodel.Parse(labDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src2, err := NewStaticSource("bio-lab", doc2, d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddSource(src2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.DefineUnionView("allProfs", []ViewPart{
+		{Source: "cs-dept", Query: xmas.MustParse(`SELECT X WHERE <department> X:<professor/> </department>`)},
+		{Source: "bio-lab", Query: xmas.MustParse(`SELECT X WHERE <lab> X:<professor/> </lab>`)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	q := xmas.MustParse(`withPubs = SELECT X WHERE <allProfs> X:<professor><publication/></professor> </allProfs>`)
+	composed, err := m.QueryComposed("allProfs", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	materialized, err := m.QueryUnsimplified("allProfs", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !composed.Root.Equal(materialized.Root) {
+		t.Errorf("union composition mismatch:\n%s\nvs\n%s",
+			xmlmodel.MarshalElement(composed.Root, -1), xmlmodel.MarshalElement(materialized.Root, -1))
+	}
+	if len(composed.Root.Children) == 0 {
+		t.Error("expected results")
+	}
+	ids := []string{}
+	for _, e := range composed.Root.Children {
+		ids = append(ids, e.ID)
+	}
+	if strings.Join(ids, ",") != "ana,eva" {
+		t.Errorf("ids = %v", ids)
+	}
+}

@@ -1,0 +1,95 @@
+package mediator
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"repro/internal/dtd"
+	"repro/internal/xmlmodel"
+)
+
+// HTTPSource is a wrapper over a remote mediator view served over HTTP
+// (see internal/serve): the distributed form of mediator stacking. The
+// remote view's *inferred* DTD becomes this source's schema — exactly the
+// paper's point that "lower level mediators can derive and provide their
+// view DTDs to the higher level ones" — so a local mediator can run view
+// DTD inference, query simplification and composition against a remote
+// MIX instance without ever seeing its raw sources.
+type HTTPSource struct {
+	name    string
+	client  *http.Client
+	viewURL string
+	schema  *dtd.DTD
+}
+
+// NewHTTPSource contacts baseURL (a mixserve instance) and registers the
+// named remote view as a source. The view DTD is fetched eagerly — schema
+// knowledge is what the mediator needs at view-definition time. A nil
+// client uses http.DefaultClient.
+func NewHTTPSource(client *http.Client, baseURL, view string) (*HTTPSource, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	base := strings.TrimRight(baseURL, "/")
+	s := &HTTPSource{
+		name:    base + "/views/" + view,
+		client:  client,
+		viewURL: base + "/views/" + view,
+	}
+	body, err := s.get(s.viewURL + "/dtd")
+	if err != nil {
+		return nil, fmt.Errorf("mediator: fetching remote view DTD: %w", err)
+	}
+	d, err := dtd.Parse(body)
+	if err != nil {
+		return nil, fmt.Errorf("mediator: remote view DTD unparseable: %w", err)
+	}
+	if errs := d.Check(); len(errs) > 0 {
+		return nil, fmt.Errorf("mediator: remote view DTD inconsistent: %v", errs[0])
+	}
+	s.schema = d
+	return s, nil
+}
+
+// Name implements Wrapper; it is the view's URL, which doubles as a
+// globally meaningful source identifier.
+func (s *HTTPSource) Name() string { return s.name }
+
+// Schema implements Wrapper.
+func (s *HTTPSource) Schema() *dtd.DTD { return s.schema }
+
+// Fetch implements Wrapper: it retrieves the materialized remote view and
+// validates it against the remote-provided schema before handing it to the
+// local mediator (never trust the wire).
+func (s *HTTPSource) Fetch() (*xmlmodel.Document, error) {
+	body, err := s.get(s.viewURL)
+	if err != nil {
+		return nil, fmt.Errorf("mediator: fetching remote view: %w", err)
+	}
+	doc, _, err := dtd.ParseDocument(body)
+	if err != nil {
+		return nil, fmt.Errorf("mediator: remote view unparseable: %w", err)
+	}
+	if err := s.schema.Validate(doc); err != nil {
+		return nil, fmt.Errorf("mediator: remote view violates its own DTD: %w", err)
+	}
+	return doc, nil
+}
+
+func (s *HTTPSource) get(url string) (string, error) {
+	resp, err := s.client.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("GET %s: %s: %s", url, resp.Status, strings.TrimSpace(string(body)))
+	}
+	return string(body), nil
+}

@@ -1,0 +1,380 @@
+// Package mediator implements the MIX mediator architecture of Section 1:
+// wrappers export XML sources with their DTDs; the mediator administrator
+// defines XMAS views over them; the View DTD Inference module derives each
+// view's DTD at registration time; and incoming queries against a view are
+// first simplified using the view DTD (pruning conditions the DTD
+// guarantees and rejecting unsatisfiable queries without touching data)
+// and then evaluated. Mediators stack: a mediator view, together with its
+// inferred DTD, can serve as a source of a higher-level mediator ("it is
+// important that the lower level mediators can derive and provide their
+// view DTDs to the higher level ones").
+//
+// Union views over several sources reproduce the paper's motivating
+// scenario of integrating many sites; their view DTD is the combination of
+// the per-source inferred s-DTDs.
+package mediator
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/dtd"
+	"repro/internal/engine"
+	"repro/internal/infer"
+	"repro/internal/regex"
+	"repro/internal/sdtd"
+	"repro/internal/xmas"
+	"repro/internal/xmlmodel"
+)
+
+// Wrapper is the interface a source exports to the mediator: data plus
+// schema, both in the XML model ("wrappers conceptually export the source
+// data translated into" the common model; here the model is XML+DTD rather
+// than TSIMMIS's OEM).
+type Wrapper interface {
+	// Name identifies the source within the mediator.
+	Name() string
+	// Fetch returns the source's current document.
+	Fetch() (*xmlmodel.Document, error)
+	// Schema returns the source DTD.
+	Schema() *dtd.DTD
+}
+
+// StaticSource is an in-memory wrapper over a fixed document.
+type StaticSource struct {
+	SourceName string
+	Doc        *xmlmodel.Document
+	DTD        *dtd.DTD
+}
+
+// NewStaticSource validates the document against the DTD and wraps it.
+func NewStaticSource(name string, doc *xmlmodel.Document, d *dtd.DTD) (*StaticSource, error) {
+	if err := d.Validate(doc); err != nil {
+		return nil, fmt.Errorf("mediator: source %s: %v", name, err)
+	}
+	return &StaticSource{SourceName: name, Doc: doc, DTD: d}, nil
+}
+
+// Name implements Wrapper.
+func (s *StaticSource) Name() string { return s.SourceName }
+
+// Fetch implements Wrapper.
+func (s *StaticSource) Fetch() (*xmlmodel.Document, error) { return s.Doc, nil }
+
+// Schema implements Wrapper.
+func (s *StaticSource) Schema() *dtd.DTD { return s.DTD }
+
+// ViewPart is one branch of a (possibly multi-source) view: a pick-element
+// query against one named source.
+type ViewPart struct {
+	Source string
+	Query  *xmas.Query
+}
+
+// View is a registered view: its definition and the DTDs inferred for it.
+type View struct {
+	Name  string
+	Parts []ViewPart
+	// SDTD and DTD are the inferred view DTDs (Definition 3.1-sound;
+	// tightened per Section 4).
+	SDTD *sdtd.SDTD
+	DTD  *dtd.DTD
+	// Class classifies the view against the source DTDs; Unsatisfiable
+	// views are always empty.
+	Class infer.Class
+	// NonTight reports that converting the s-DTD to the plain DTD lost
+	// information (Section 4.3's merge signal).
+	NonTight bool
+}
+
+// QueryStats reports how a query against a view was executed.
+type QueryStats struct {
+	// SkippedUnsatisfiable is set when the DTD classifier proved the query
+	// empty and the data was never touched.
+	SkippedUnsatisfiable bool
+	// PrunedConditions / DroppedNames are the simplifier's rewrite counts.
+	PrunedConditions int
+	DroppedNames     int
+}
+
+// Mediator hosts wrappers and views.
+type Mediator struct {
+	name string
+
+	mu       sync.Mutex
+	wrappers map[string]Wrapper
+	views    map[string]*View
+	matCache map[string]*xmlmodel.Document
+}
+
+// New creates an empty mediator.
+func New(name string) *Mediator {
+	return &Mediator{
+		name:     name,
+		wrappers: map[string]Wrapper{},
+		views:    map[string]*View{},
+		matCache: map[string]*xmlmodel.Document{},
+	}
+}
+
+// Name returns the mediator's name.
+func (m *Mediator) Name() string { return m.name }
+
+// AddSource registers a wrapper.
+func (m *Mediator) AddSource(w Wrapper) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, dup := m.wrappers[w.Name()]; dup {
+		return fmt.Errorf("mediator: source %s already registered", w.Name())
+	}
+	m.wrappers[w.Name()] = w
+	return nil
+}
+
+// Wrapper returns the registered wrapper for a source name.
+func (m *Mediator) Wrapper(name string) (Wrapper, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	w, ok := m.wrappers[name]
+	if !ok {
+		return nil, fmt.Errorf("mediator: unknown source %s", name)
+	}
+	return w, nil
+}
+
+// Sources lists registered source names, sorted.
+func (m *Mediator) Sources() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.wrappers))
+	for n := range m.wrappers {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DefineView registers a single-source view and runs view DTD inference.
+func (m *Mediator) DefineView(source string, q *xmas.Query) (*View, error) {
+	return m.DefineUnionView(q.Name, []ViewPart{{Source: source, Query: q}})
+}
+
+// DefineUnionView registers a view that concatenates, under one root named
+// `name`, the results of one pick-element query per source (the paper's
+// "view that unions the structures exported by 100 sites" — but with
+// structure: the inferred view DTD describes the union precisely). The
+// per-part queries' own names are overridden by the view name.
+func (m *Mediator) DefineUnionView(name string, parts []ViewPart) (*View, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("mediator: view %s has no parts", name)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, dup := m.views[name]; dup {
+		return nil, fmt.Errorf("mediator: view %s already defined", name)
+	}
+	v := &View{Name: name}
+	var partSDTDs []*sdtd.SDTD
+	var classes []infer.Class
+	for _, p := range parts {
+		w, ok := m.wrappers[p.Source]
+		if !ok {
+			return nil, fmt.Errorf("mediator: unknown source %s", p.Source)
+		}
+		q := p.Query.Clone()
+		q.Name = name
+		res, err := infer.Infer(q, w.Schema())
+		if err != nil {
+			return nil, fmt.Errorf("mediator: view %s over %s: %v", name, p.Source, err)
+		}
+		partSDTDs = append(partSDTDs, res.SDTD)
+		if res.NonTight {
+			v.NonTight = true
+		}
+		classes = append(classes, res.Class)
+		v.Parts = append(v.Parts, ViewPart{Source: p.Source, Query: q})
+	}
+	// Union classification: the view is guaranteed non-empty when some
+	// part's condition is valid; possibly non-empty when some part is
+	// satisfiable; always empty only when every part is unsatisfiable.
+	v.Class = infer.Unsatisfiable
+	for _, c := range classes {
+		if c > v.Class {
+			v.Class = c
+		}
+	}
+	union, err := UnionSDTDs(regex.N(name), partSDTDs)
+	if err != nil {
+		return nil, fmt.Errorf("mediator: view %s: %v", name, err)
+	}
+	v.SDTD = union
+	plain, events, err := union.Merge()
+	if err != nil {
+		return nil, fmt.Errorf("mediator: view %s: %v", name, err)
+	}
+	for _, ev := range events {
+		if ev.Distinct {
+			v.NonTight = true
+		}
+	}
+	v.DTD = plain
+	m.views[name] = v
+	return v, nil
+}
+
+// View returns a registered view.
+func (m *Mediator) View(name string) (*View, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	v, ok := m.views[name]
+	if !ok {
+		return nil, fmt.Errorf("mediator: unknown view %s", name)
+	}
+	return v, nil
+}
+
+// Views lists registered view names, sorted.
+func (m *Mediator) Views() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.views))
+	for n := range m.views {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Materialize evaluates the view against its sources and returns the view
+// document. Results are cached until Invalidate.
+func (m *Mediator) Materialize(viewName string) (*xmlmodel.Document, error) {
+	m.mu.Lock()
+	if doc, ok := m.matCache[viewName]; ok {
+		m.mu.Unlock()
+		return doc, nil
+	}
+	v, ok := m.views[viewName]
+	if !ok {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("mediator: unknown view %s", viewName)
+	}
+	wrappers := make([]Wrapper, len(v.Parts))
+	for i, p := range v.Parts {
+		wrappers[i] = m.wrappers[p.Source]
+	}
+	m.mu.Unlock()
+
+	// Parts evaluate concurrently — each against its own source — and the
+	// results are concatenated in part order, so the view document is
+	// deterministic regardless of scheduling.
+	type partResult struct {
+		children []*xmlmodel.Element
+		err      error
+	}
+	results := make([]partResult, len(v.Parts))
+	var wg sync.WaitGroup
+	for i := range v.Parts {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p := v.Parts[i]
+			doc, err := wrappers[i].Fetch()
+			if err != nil {
+				results[i].err = fmt.Errorf("mediator: fetching %s: %v", p.Source, err)
+				return
+			}
+			part, err := engine.Eval(p.Query, doc)
+			if err != nil {
+				results[i].err = fmt.Errorf("mediator: evaluating view %s over %s: %v", v.Name, p.Source, err)
+				return
+			}
+			results[i].children = part.Root.Children
+		}(i)
+	}
+	wg.Wait()
+	root := &xmlmodel.Element{Name: v.Name}
+	for _, r := range results {
+		if r.err != nil {
+			return nil, r.err
+		}
+		root.Children = append(root.Children, r.children...)
+	}
+	out := &xmlmodel.Document{DocType: v.Name, Root: root}
+	m.mu.Lock()
+	m.matCache[viewName] = out
+	m.mu.Unlock()
+	return out, nil
+}
+
+// Invalidate drops the materialization cache (e.g. after a source change).
+func (m *Mediator) Invalidate() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.matCache = map[string]*xmlmodel.Document{}
+}
+
+// Query runs a pick-element query against a view. The query is first
+// simplified against the inferred view DTD: unsatisfiable queries return
+// the empty result without materializing the view, and valid side
+// conditions are pruned before evaluation.
+func (m *Mediator) Query(viewName string, q *xmas.Query) (*xmlmodel.Document, *QueryStats, error) {
+	v, err := m.View(viewName)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats := &QueryStats{}
+	sq := q
+	if simplified, rep, serr := infer.SimplifyQuery(q, v.DTD); serr == nil {
+		stats.PrunedConditions = rep.PrunedConditions
+		stats.DroppedNames = rep.DroppedNames
+		if rep.Class == infer.Unsatisfiable {
+			stats.SkippedUnsatisfiable = true
+			return &xmlmodel.Document{DocType: q.Name, Root: &xmlmodel.Element{Name: q.Name}}, stats, nil
+		}
+		sq = simplified
+	}
+	doc, err := m.Materialize(viewName)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := engine.Eval(sq, doc)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, stats, nil
+}
+
+// QueryUnsimplified evaluates the query against the view without the
+// DTD-based simplifier — the "living without structure" baseline used by
+// the benchmarks.
+func (m *Mediator) QueryUnsimplified(viewName string, q *xmas.Query) (*xmlmodel.Document, error) {
+	doc, err := m.Materialize(viewName)
+	if err != nil {
+		return nil, err
+	}
+	return engine.Eval(q, doc)
+}
+
+// AsSource exposes a view (with its inferred DTD) as a wrapper, enabling
+// stacked mediators.
+func (m *Mediator) AsSource(viewName string) (Wrapper, error) {
+	v, err := m.View(viewName)
+	if err != nil {
+		return nil, err
+	}
+	return &viewSource{m: m, v: v}, nil
+}
+
+type viewSource struct {
+	m *Mediator
+	v *View
+}
+
+func (s *viewSource) Name() string { return s.m.name + "/" + s.v.Name }
+
+func (s *viewSource) Fetch() (*xmlmodel.Document, error) {
+	return s.m.Materialize(s.v.Name)
+}
+
+func (s *viewSource) Schema() *dtd.DTD { return s.v.DTD }

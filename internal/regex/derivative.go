@@ -1,0 +1,62 @@
+package regex
+
+import "fmt"
+
+// Brzozowski derivatives: an independent, automaton-free decision
+// procedure for word membership. The automata package is the production
+// path (it amortizes compilation across matches); the derivative matcher
+// exists as a differential-testing oracle — two implementations of the
+// same semantics derived from different theory, cross-checked by property
+// tests. It is also convenient for one-shot matches on huge alphabets
+// where building a DFA would be wasteful.
+
+// Deriv returns the Brzozowski derivative of e with respect to the name a:
+// the expression denoting { w : a·w ∈ L(e) }.
+func Deriv(e Expr, a Name) Expr {
+	switch v := e.(type) {
+	case Empty, Fail:
+		return Fail{}
+	case Atom:
+		if v.Name == a {
+			return Empty{}
+		}
+		return Fail{}
+	case Concat:
+		if len(v.Items) == 0 {
+			return Fail{}
+		}
+		head, tail := v.Items[0], v.Items[1:]
+		// d(head)·tail  ∪  (if ε∈head) d(tail)
+		first := Cat(append([]Expr{Deriv(head, a)}, tail...)...)
+		if !Nullable(head) {
+			return first
+		}
+		return Or(first, Deriv(Concat{Items: tail}, a))
+	case Alt:
+		items := make([]Expr, len(v.Items))
+		for i, it := range v.Items {
+			items[i] = Deriv(it, a)
+		}
+		return Or(items...)
+	case Star:
+		return Cat(Deriv(v.Sub, a), Star{Sub: v.Sub})
+	case Plus:
+		// e+ = e·e*
+		return Cat(Deriv(v.Sub, a), Star{Sub: v.Sub})
+	case Opt:
+		return Deriv(v.Sub, a)
+	}
+	panic(fmt.Sprintf("regex: unknown node %T", e))
+}
+
+// MatchDeriv reports w ∈ L(e) by successive derivatives. It allocates per
+// symbol; use the automata package for repeated matching.
+func MatchDeriv(e Expr, w []Name) bool {
+	for _, a := range w {
+		e = Deriv(e, a)
+		if IsFail(e) {
+			return false
+		}
+	}
+	return Nullable(e)
+}

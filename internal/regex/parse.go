@@ -1,0 +1,231 @@
+package regex
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// Parse parses a content-model expression in DTD syntax extended with
+// specialization tags:
+//
+//	expr   := alt
+//	alt    := cat { "|" cat }
+//	cat    := unary { "," unary }
+//	unary  := primary { "*" | "+" | "?" }
+//	primary:= name [ "^" int ] | "(" expr ")" | "EMPTY" | "FAIL"
+//
+// EMPTY and FAIL denote ε and ∅ and exist mainly for tests and tool input;
+// DTD files use the standard forms. Whitespace is insignificant.
+func Parse(input string) (Expr, error) {
+	p := &rparser{src: input}
+	e, err := p.parseAlt()
+	if err != nil {
+		return nil, err
+	}
+	p.ws()
+	if p.pos != len(p.src) {
+		return nil, p.errf("unexpected %q", p.src[p.pos:])
+	}
+	return e, nil
+}
+
+// MustParse is Parse that panics on error; for tests and package literals.
+func MustParse(input string) Expr {
+	e, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// maxNesting bounds parenthesis nesting in content models; the parser is
+// recursive and must reject adversarial "(((((…" inputs gracefully.
+const maxNesting = 2048
+
+type rparser struct {
+	src   string
+	pos   int
+	depth int
+}
+
+func (p *rparser) errf(format string, args ...any) error {
+	return fmt.Errorf("regex: parse error at offset %d: %s", p.pos, fmt.Sprintf(format, args...))
+}
+
+func (p *rparser) ws() {
+	for p.pos < len(p.src) {
+		switch p.src[p.pos] {
+		case ' ', '\t', '\n', '\r':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+func (p *rparser) peek() byte {
+	if p.pos < len(p.src) {
+		return p.src[p.pos]
+	}
+	return 0
+}
+
+func (p *rparser) parseAlt() (Expr, error) {
+	first, err := p.parseCat()
+	if err != nil {
+		return nil, err
+	}
+	items := []Expr{first}
+	for {
+		p.ws()
+		if p.peek() != '|' {
+			break
+		}
+		p.pos++
+		next, err := p.parseCat()
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, next)
+	}
+	if len(items) == 1 {
+		return items[0], nil
+	}
+	return Or(items...), nil
+}
+
+func (p *rparser) parseCat() (Expr, error) {
+	first, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	items := []Expr{first}
+	for {
+		p.ws()
+		if p.peek() != ',' {
+			break
+		}
+		p.pos++
+		next, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, next)
+	}
+	if len(items) == 1 {
+		return items[0], nil
+	}
+	return Cat(items...), nil
+}
+
+func (p *rparser) parseUnary() (Expr, error) {
+	e, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.ws()
+		switch p.peek() {
+		case '*':
+			p.pos++
+			e = Rep(e)
+		case '+':
+			p.pos++
+			e = Rep1(e)
+		case '?':
+			p.pos++
+			e = Maybe(e)
+		default:
+			return e, nil
+		}
+	}
+}
+
+func (p *rparser) parsePrimary() (Expr, error) {
+	p.ws()
+	if p.pos >= len(p.src) {
+		return nil, p.errf("unexpected end of expression")
+	}
+	if p.peek() == '(' {
+		if p.depth >= maxNesting {
+			return nil, p.errf("parenthesis nesting exceeds %d levels", maxNesting)
+		}
+		p.depth++
+		p.pos++
+		e, err := p.parseAlt()
+		p.depth--
+		if err != nil {
+			return nil, err
+		}
+		p.ws()
+		if p.peek() != ')' {
+			return nil, p.errf("expected ')'")
+		}
+		p.pos++
+		return e, nil
+	}
+	name := p.readName()
+	if name == "" {
+		return nil, p.errf("expected name, '(' or keyword")
+	}
+	switch name {
+	case "EMPTY":
+		return Empty{}, nil
+	case "FAIL":
+		return Fail{}, nil
+	}
+	tag := 0
+	if p.peek() == '^' {
+		p.pos++
+		start := p.pos
+		for p.pos < len(p.src) && p.src[p.pos] >= '0' && p.src[p.pos] <= '9' {
+			p.pos++
+		}
+		if p.pos == start {
+			return nil, p.errf("expected tag number after '^'")
+		}
+		t, err := strconv.Atoi(p.src[start:p.pos])
+		if err != nil {
+			return nil, p.errf("bad tag: %v", err)
+		}
+		tag = t
+	}
+	return Atom{Name: Name{Base: name, Tag: tag}}, nil
+}
+
+func (p *rparser) readName() string {
+	start := p.pos
+	for p.pos < len(p.src) {
+		r, sz := utf8.DecodeRuneInString(p.src[p.pos:])
+		ok := unicode.IsLetter(r) || r == '_' ||
+			(p.pos > start && (unicode.IsDigit(r) || r == '-' || r == '.' || r == ':'))
+		if !ok {
+			break
+		}
+		p.pos += sz
+	}
+	return p.src[start:p.pos]
+}
+
+// ParseWord parses a whitespace-separated sequence of (possibly tagged)
+// names, e.g. "name professor publication^1". It is a convenience for tests
+// and tools that feed words to automata.
+func ParseWord(input string) ([]Name, error) {
+	fields := strings.Fields(input)
+	out := make([]Name, 0, len(fields))
+	for _, f := range fields {
+		e, err := Parse(f)
+		if err != nil {
+			return nil, err
+		}
+		a, ok := e.(Atom)
+		if !ok {
+			return nil, fmt.Errorf("regex: %q is not a name", f)
+		}
+		out = append(out, a.Name)
+	}
+	return out, nil
+}

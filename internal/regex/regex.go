@@ -1,0 +1,584 @@
+// Package regex implements regular expressions over (optionally tagged)
+// element names — the content models of DTDs (Definition 2.2) and of
+// specialized DTDs (Definition 3.8, "tagged regular expressions").
+//
+// Following the paper's notation (Section 2), expressions are built from
+// names with concatenation (","), union ("|"), Kleene closure ("*"), plus
+// ("+" = r,r*) and option ("?" = r|ε). Two extra constants appear during
+// inference: Empty (ε, the empty sequence) and Fail (the paper's "fail"
+// result, denoting the empty language ∅). The special operators ⊕ and ∥ of
+// Section 4.1, which propagate and absorb fail respectively, are provided
+// as OConcat and OAlt.
+//
+// A Name carries a specialization tag (Definition 3.8); tag 0 is the plain,
+// untagged name, written without a superscript. Image strips tags
+// (Definition 3.9).
+package regex
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Name is a possibly specialized element name n^Tag. Tag 0 is the plain
+// name n (the paper treats n as a shortcut for n⁰).
+type Name struct {
+	Base string
+	Tag  int
+}
+
+// N returns the untagged name n⁰.
+func N(base string) Name { return Name{Base: base} }
+
+// T returns the tagged name base^tag.
+func T(base string, tag int) Name { return Name{Base: base, Tag: tag} }
+
+// String renders the name; tags are printed with a caret: publication^1.
+func (n Name) String() string {
+	if n.Tag == 0 {
+		return n.Base
+	}
+	return fmt.Sprintf("%s^%d", n.Base, n.Tag)
+}
+
+// Expr is a regular expression over Names. Expressions are immutable:
+// every operation returns new nodes and never mutates its operands, so
+// subtrees may be shared freely.
+type Expr interface {
+	// String renders the expression in DTD content-model syntax.
+	String() string
+	// precedence for printing: higher binds tighter.
+	prec() int
+}
+
+// Empty is ε: the language containing only the empty sequence.
+type Empty struct{}
+
+// Fail is ∅: the empty language. It is the "fail" value threaded through
+// the paper's refinement algorithm (Section 4.1).
+type Fail struct{}
+
+// Atom is a single (possibly tagged) name.
+type Atom struct{ Name Name }
+
+// Concat is the sequence r1, r2, ..., rn.
+type Concat struct{ Items []Expr }
+
+// Alt is the union r1 | r2 | ... | rn.
+type Alt struct{ Items []Expr }
+
+// Star is r*.
+type Star struct{ Sub Expr }
+
+// Plus is r+ (= r, r*).
+type Plus struct{ Sub Expr }
+
+// Opt is r? (= r | ε).
+type Opt struct{ Sub Expr }
+
+func (Empty) prec() int  { return 4 }
+func (Fail) prec() int   { return 4 }
+func (Atom) prec() int   { return 4 }
+func (Star) prec() int   { return 3 }
+func (Plus) prec() int   { return 3 }
+func (Opt) prec() int    { return 3 }
+func (Concat) prec() int { return 2 }
+func (Alt) prec() int    { return 1 }
+
+func (Empty) String() string { return "EMPTY" }
+func (Fail) String() string  { return "FAIL" }
+func (a Atom) String() string {
+	return a.Name.String()
+}
+
+func paren(e Expr, min int) string {
+	s := e.String()
+	if e.prec() < min {
+		return "(" + s + ")"
+	}
+	return s
+}
+
+func (c Concat) String() string {
+	if len(c.Items) == 0 {
+		return "EMPTY"
+	}
+	parts := make([]string, len(c.Items))
+	for i, it := range c.Items {
+		parts[i] = paren(it, 3)
+	}
+	return strings.Join(parts, ", ")
+}
+
+func (a Alt) String() string {
+	if len(a.Items) == 0 {
+		return "FAIL"
+	}
+	parts := make([]string, len(a.Items))
+	for i, it := range a.Items {
+		parts[i] = paren(it, 2)
+	}
+	return strings.Join(parts, " | ")
+}
+
+func (s Star) String() string { return paren(s.Sub, 4) + "*" }
+func (p Plus) String() string { return paren(p.Sub, 4) + "+" }
+func (o Opt) String() string  { return paren(o.Sub, 4) + "?" }
+
+// Constructors. Cat and Or flatten nested nodes and apply the cheap
+// identities involving Empty and Fail so that intermediate results stay
+// small; deeper simplification is in Simplify.
+
+// Eps is the shared ε expression.
+func Eps() Expr { return Empty{} }
+
+// Bot is the shared ∅/fail expression.
+func Bot() Expr { return Fail{} }
+
+// Nm builds an atom for the untagged name.
+func Nm(base string) Expr { return Atom{Name: N(base)} }
+
+// NmT builds an atom for a tagged name.
+func NmT(base string, tag int) Expr { return Atom{Name: T(base, tag)} }
+
+// At builds an atom for the given name.
+func At(n Name) Expr { return Atom{Name: n} }
+
+// Cat builds the concatenation of the given expressions, flattening nested
+// concatenations, dropping ε items, and collapsing to Fail when any item is
+// Fail (concatenation with the empty language is empty).
+func Cat(items ...Expr) Expr {
+	var out []Expr
+	for _, it := range items {
+		switch v := it.(type) {
+		case Fail:
+			return Fail{}
+		case Empty:
+			// skip
+		case Concat:
+			for _, sub := range v.Items {
+				if _, isFail := sub.(Fail); isFail {
+					return Fail{}
+				}
+				if _, isEps := sub.(Empty); isEps {
+					continue
+				}
+				out = append(out, sub)
+			}
+		default:
+			out = append(out, it)
+		}
+	}
+	switch len(out) {
+	case 0:
+		return Empty{}
+	case 1:
+		return out[0]
+	}
+	return Concat{Items: out}
+}
+
+// Or builds the union of the given expressions, flattening nested unions
+// and dropping Fail items (union with the empty language is identity).
+// Syntactically duplicate alternatives are deduplicated.
+func Or(items ...Expr) Expr {
+	var out []Expr
+	seen := map[string]bool{}
+	add := func(e Expr) {
+		if _, isFail := e.(Fail); isFail {
+			return
+		}
+		k := e.String()
+		if seen[k] {
+			return
+		}
+		seen[k] = true
+		out = append(out, e)
+	}
+	for _, it := range items {
+		if v, ok := it.(Alt); ok {
+			for _, sub := range v.Items {
+				add(sub)
+			}
+		} else {
+			add(it)
+		}
+	}
+	switch len(out) {
+	case 0:
+		return Fail{}
+	case 1:
+		return out[0]
+	}
+	return Alt{Items: out}
+}
+
+// Rep builds r*, applying Star identities (ε* = ε, ∅* = ε, (r*)* = r*,
+// (r+)* = r*, (r?)* = r*).
+func Rep(e Expr) Expr {
+	switch v := e.(type) {
+	case Empty, Fail:
+		return Empty{}
+	case Star:
+		return v
+	case Plus:
+		return Star{Sub: v.Sub}
+	case Opt:
+		return Rep(v.Sub)
+	}
+	return Star{Sub: e}
+}
+
+// Rep1 builds r+ (∅+ = ∅, ε+ = ε, (r*)+ = r*, (r?)+ = r*, (r+)+ = r+;
+// when ε ∈ L(r), r+ = r*).
+func Rep1(e Expr) Expr {
+	switch v := e.(type) {
+	case Empty:
+		return Empty{}
+	case Fail:
+		return Fail{}
+	case Star:
+		return v
+	case Opt:
+		return Rep(v.Sub)
+	case Plus:
+		return v
+	}
+	if Nullable(e) {
+		return Rep(e)
+	}
+	return Plus{Sub: e}
+}
+
+// Maybe builds r? (∅? = ε, ε? = ε, (r?)? = r?, (r*)? = r*, (r+)? = r*;
+// when ε ∈ L(r), the "?" is redundant and dropped).
+func Maybe(e Expr) Expr {
+	switch v := e.(type) {
+	case Empty, Fail:
+		return Empty{}
+	case Opt, Star:
+		return e
+	case Plus:
+		return Star{Sub: v.Sub}
+	}
+	if Nullable(e) {
+		return e
+	}
+	return Opt{Sub: e}
+}
+
+// OConcat is the paper's ⊕ operator (Section 4.1): concatenation that
+// propagates fail — if either operand is fail, the result is fail;
+// otherwise it is the ordinary concatenation.
+func OConcat(a, b Expr) Expr {
+	if isFail(a) || isFail(b) {
+		return Fail{}
+	}
+	return Cat(a, b)
+}
+
+// OAlt is the paper's ∥ operator (Section 4.1): union that absorbs fail —
+// fail operands are dropped, and the result is fail only when both operands
+// are fail.
+func OAlt(a, b Expr) Expr {
+	switch {
+	case isFail(a) && isFail(b):
+		return Fail{}
+	case isFail(a):
+		return b
+	case isFail(b):
+		return a
+	}
+	return Or(a, b)
+}
+
+func isFail(e Expr) bool { _, ok := e.(Fail); return ok }
+
+// IsFail reports whether e is the fail (empty-language) constant. Note this
+// is syntactic; an expression may denote ∅ without being the constant
+// (use automata.IsEmpty for the semantic test).
+func IsFail(e Expr) bool { return isFail(e) }
+
+// IsEmptyExpr reports whether e is syntactically ε.
+func IsEmptyExpr(e Expr) bool { _, ok := e.(Empty); return ok }
+
+// Nullable reports whether ε ∈ L(e).
+func Nullable(e Expr) bool {
+	switch v := e.(type) {
+	case Empty:
+		return true
+	case Fail:
+		return false
+	case Atom:
+		return false
+	case Concat:
+		for _, it := range v.Items {
+			if !Nullable(it) {
+				return false
+			}
+		}
+		return true
+	case Alt:
+		for _, it := range v.Items {
+			if Nullable(it) {
+				return true
+			}
+		}
+		return false
+	case Star, Opt:
+		return true
+	case Plus:
+		return Nullable(v.Sub)
+	}
+	panic(fmt.Sprintf("regex: unknown node %T", e))
+}
+
+// Names returns the set of names occurring in e, sorted by base then tag.
+func Names(e Expr) []Name {
+	set := map[Name]bool{}
+	collectNames(e, set)
+	out := make([]Name, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Base != out[j].Base {
+			return out[i].Base < out[j].Base
+		}
+		return out[i].Tag < out[j].Tag
+	})
+	return out
+}
+
+func collectNames(e Expr, set map[Name]bool) {
+	switch v := e.(type) {
+	case Atom:
+		set[v.Name] = true
+	case Concat:
+		for _, it := range v.Items {
+			collectNames(it, set)
+		}
+	case Alt:
+		for _, it := range v.Items {
+			collectNames(it, set)
+		}
+	case Star:
+		collectNames(v.Sub, set)
+	case Plus:
+		collectNames(v.Sub, set)
+	case Opt:
+		collectNames(v.Sub, set)
+	}
+}
+
+// Image strips specialization tags from every name in e (Definition 3.9).
+func Image(e Expr) Expr {
+	return Map(e, func(n Name) Expr { return Nm(n.Base) })
+}
+
+// Map rebuilds e with every atom replaced by f(name). Structure nodes are
+// rebuilt through the smart constructors, so identities are applied. Map is
+// the workhorse behind Image, one-level extension (Definition 4.3) and the
+// substitution steps of the list-inference algorithm (Appendix B).
+func Map(e Expr, f func(Name) Expr) Expr {
+	switch v := e.(type) {
+	case Empty:
+		return Empty{}
+	case Fail:
+		return Fail{}
+	case Atom:
+		return f(v.Name)
+	case Concat:
+		items := make([]Expr, len(v.Items))
+		for i, it := range v.Items {
+			items[i] = Map(it, f)
+		}
+		return Cat(items...)
+	case Alt:
+		items := make([]Expr, len(v.Items))
+		for i, it := range v.Items {
+			items[i] = Map(it, f)
+		}
+		return Or(items...)
+	case Star:
+		return Rep(Map(v.Sub, f))
+	case Plus:
+		return Rep1(Map(v.Sub, f))
+	case Opt:
+		return Maybe(Map(v.Sub, f))
+	}
+	panic(fmt.Sprintf("regex: unknown node %T", e))
+}
+
+// Equal reports syntactic equality of two expressions.
+func Equal(a, b Expr) bool {
+	return a.String() == b.String()
+}
+
+// Enumerate returns up to limit words of L(e) with length at most maxLen,
+// in shortlex-ish order (all words of length 0, then 1, ...). It is used by
+// tests to cross-check the automata constructions against a direct
+// semantics, and by the tightness analyzer's bounded enumerations.
+func Enumerate(e Expr, maxLen, limit int) [][]Name {
+	var out [][]Name
+	seen := map[string]bool{}
+	for l := 0; l <= maxLen && len(out) < limit; l++ {
+		for _, w := range wordsOfLen(e, l, limit-len(out)) {
+			k := wordKey(w)
+			if !seen[k] {
+				seen[k] = true
+				out = append(out, w)
+			}
+		}
+	}
+	return out
+}
+
+func wordKey(w []Name) string {
+	parts := make([]string, len(w))
+	for i, n := range w {
+		parts[i] = n.String()
+	}
+	return strings.Join(parts, " ")
+}
+
+// wordsOfLen returns words of exactly length l in L(e), up to limit.
+func wordsOfLen(e Expr, l, limit int) [][]Name {
+	if limit <= 0 {
+		return nil
+	}
+	switch v := e.(type) {
+	case Empty:
+		if l == 0 {
+			return [][]Name{{}}
+		}
+		return nil
+	case Fail:
+		return nil
+	case Atom:
+		if l == 1 {
+			return [][]Name{{v.Name}}
+		}
+		return nil
+	case Opt:
+		if l == 0 {
+			return [][]Name{{}}
+		}
+		return wordsOfLen(v.Sub, l, limit)
+	case Alt:
+		var out [][]Name
+		for _, it := range v.Items {
+			out = append(out, wordsOfLen(it, l, limit-len(out))...)
+			if len(out) >= limit {
+				break
+			}
+		}
+		return dedupWords(out)
+	case Concat:
+		return concatWords(v.Items, l, limit)
+	case Star:
+		if l == 0 {
+			return [][]Name{{}}
+		}
+		// r* with total length l: first chunk non-empty of length k, rest r*.
+		var out [][]Name
+		for k := 1; k <= l && len(out) < limit; k++ {
+			heads := wordsOfLen(v.Sub, k, limit)
+			if len(heads) == 0 {
+				continue
+			}
+			tails := wordsOfLen(v, l-k, limit)
+			for _, h := range heads {
+				for _, t := range tails {
+					w := append(append([]Name{}, h...), t...)
+					out = append(out, w)
+					if len(out) >= limit {
+						break
+					}
+				}
+				if len(out) >= limit {
+					break
+				}
+			}
+		}
+		return dedupWords(out)
+	case Plus:
+		return wordsOfLen(Cat(v.Sub, Rep(v.Sub)), l, limit)
+	}
+	panic(fmt.Sprintf("regex: unknown node %T", e))
+}
+
+func concatWords(items []Expr, l, limit int) [][]Name {
+	if len(items) == 0 {
+		if l == 0 {
+			return [][]Name{{}}
+		}
+		return nil
+	}
+	if len(items) == 1 {
+		return wordsOfLen(items[0], l, limit)
+	}
+	var out [][]Name
+	for k := 0; k <= l && len(out) < limit; k++ {
+		heads := wordsOfLen(items[0], k, limit)
+		if len(heads) == 0 {
+			continue
+		}
+		tails := concatWords(items[1:], l-k, limit)
+		for _, h := range heads {
+			for _, t := range tails {
+				w := append(append([]Name{}, h...), t...)
+				out = append(out, w)
+				if len(out) >= limit {
+					break
+				}
+			}
+			if len(out) >= limit {
+				break
+			}
+		}
+	}
+	return dedupWords(out)
+}
+
+func dedupWords(ws [][]Name) [][]Name {
+	seen := map[string]bool{}
+	out := ws[:0]
+	for _, w := range ws {
+		k := wordKey(w)
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// Size returns the number of AST nodes, a rough complexity measure used in
+// benchmarks and in the simplifier's "did we improve" check.
+func Size(e Expr) int {
+	switch v := e.(type) {
+	case Empty, Fail, Atom:
+		return 1
+	case Concat:
+		n := 1
+		for _, it := range v.Items {
+			n += Size(it)
+		}
+		return n
+	case Alt:
+		n := 1
+		for _, it := range v.Items {
+			n += Size(it)
+		}
+		return n
+	case Star:
+		return 1 + Size(v.Sub)
+	case Plus:
+		return 1 + Size(v.Sub)
+	case Opt:
+		return 1 + Size(v.Sub)
+	}
+	panic(fmt.Sprintf("regex: unknown node %T", e))
+}

@@ -1,0 +1,198 @@
+package regex
+
+import "fmt"
+
+// Simplify rewrites e into a smaller equivalent expression using algebraic
+// identities. It performs only language-preserving syntactic rewrites (the
+// automata package provides semantic equivalence checks); it is what turns
+// the raw output of Merge — e.g. the paper's (D10)
+// "publication*, publication, publication*, publication, publication*" —
+// into the readable "publication, publication+" form.
+func Simplify(e Expr) Expr {
+	for i := 0; i < 16; i++ { // bounded fixpoint; rewrites strictly shrink in practice
+		next := simplifyOnce(e)
+		if Equal(next, e) {
+			return next
+		}
+		e = next
+	}
+	return e
+}
+
+func simplifyOnce(e Expr) Expr {
+	switch v := e.(type) {
+	case Empty, Fail, Atom:
+		return e
+	case Star:
+		return Rep(simplifyOnce(v.Sub))
+	case Plus:
+		return Rep1(simplifyOnce(v.Sub))
+	case Opt:
+		return Maybe(simplifyOnce(v.Sub))
+	case Concat:
+		items := make([]Expr, len(v.Items))
+		for i, it := range v.Items {
+			items[i] = simplifyOnce(it)
+		}
+		items = fuseAdjacent(items)
+		return Cat(items...)
+	case Alt:
+		items := make([]Expr, len(v.Items))
+		hasEps := false
+		for i, it := range v.Items {
+			items[i] = simplifyOnce(it)
+			if _, ok := items[i].(Empty); ok {
+				hasEps = true
+			}
+		}
+		items = absorbAlternatives(items)
+		if hasEps {
+			// ε | r1 | r2  =  (r1 | r2)?
+			rest := items[:0:0]
+			for _, it := range items {
+				if _, ok := it.(Empty); !ok {
+					rest = append(rest, it)
+				}
+			}
+			return Maybe(Or(rest...))
+		}
+		return Or(items...)
+	}
+	panic(fmt.Sprintf("regex: unknown node %T", e))
+}
+
+// occurrence is a run of a common body expression with a repetition range:
+// min..max occurrences, max = -1 meaning unbounded.
+type occurrence struct {
+	body Expr
+	min  int
+	max  int // -1 = unbounded
+}
+
+func toOccurrence(e Expr) occurrence {
+	switch v := e.(type) {
+	case Star:
+		return occurrence{body: v.Sub, min: 0, max: -1}
+	case Plus:
+		return occurrence{body: v.Sub, min: 1, max: -1}
+	case Opt:
+		return occurrence{body: v.Sub, min: 0, max: 1}
+	default:
+		return occurrence{body: e, min: 1, max: 1}
+	}
+}
+
+func fromOccurrence(o occurrence) Expr {
+	switch {
+	case o.min == 0 && o.max == -1:
+		return Rep(o.body)
+	case o.min == 1 && o.max == -1:
+		return Rep1(o.body)
+	case o.max == -1:
+		// min copies then star.
+		items := make([]Expr, 0, o.min+1)
+		for i := 0; i < o.min-1; i++ {
+			items = append(items, o.body)
+		}
+		items = append(items, Rep1(o.body))
+		return Cat(items...)
+	case o.min == 0 && o.max == 1:
+		return Maybe(o.body)
+	case o.min == 1 && o.max == 1:
+		return o.body
+	default:
+		items := make([]Expr, 0, o.max)
+		for i := 0; i < o.min; i++ {
+			items = append(items, o.body)
+		}
+		for i := o.min; i < o.max; i++ {
+			items = append(items, Maybe(o.body))
+		}
+		return Cat(items...)
+	}
+}
+
+// fuseAdjacent merges adjacent concatenation items that repeat the same
+// body: x, x* → x+ ; x*, x* → x* ; x+, x? → x, x+ (as ranges min/max add).
+// This is exactly the cleanup needed after the paper's Merge step.
+func fuseAdjacent(items []Expr) []Expr {
+	if len(items) < 2 {
+		return items
+	}
+	out := make([]Expr, 0, len(items))
+	cur := toOccurrence(items[0])
+	for _, it := range items[1:] {
+		next := toOccurrence(it)
+		if Equal(cur.body, next.body) {
+			cur.min += next.min
+			if cur.max == -1 || next.max == -1 {
+				cur.max = -1
+			} else {
+				cur.max += next.max
+			}
+			continue
+		}
+		out = append(out, fromOccurrence(cur))
+		cur = next
+	}
+	out = append(out, fromOccurrence(cur))
+	return out
+}
+
+// absorbAlternatives drops an alternative when another alternative clearly
+// subsumes it syntactically: r absorbed by r?, r*, r+; r? and r+ absorbed
+// by r*; and any item equal to another (Or dedupes those anyway).
+func absorbAlternatives(items []Expr) []Expr {
+	keep := make([]bool, len(items))
+	for i := range keep {
+		keep[i] = true
+	}
+	for i, a := range items {
+		if !keep[i] {
+			continue
+		}
+		for j, b := range items {
+			if i == j || !keep[j] || !keep[i] {
+				continue
+			}
+			if subsumes(a, b) {
+				keep[j] = false
+			}
+		}
+	}
+	out := items[:0:0]
+	for i, it := range items {
+		if keep[i] {
+			out = append(out, it)
+		}
+	}
+	return out
+}
+
+// subsumes reports syntactically-evident L(b) ⊆ L(a).
+func subsumes(a, b Expr) bool {
+	if Equal(a, b) {
+		return false // handled by dedupe; avoid dropping both
+	}
+	switch va := a.(type) {
+	case Star:
+		switch vb := b.(type) {
+		case Plus:
+			return Equal(va.Sub, vb.Sub)
+		case Opt:
+			return Equal(va.Sub, vb.Sub)
+		case Empty:
+			return true
+		default:
+			return Equal(va.Sub, b)
+		}
+	case Plus:
+		return Equal(va.Sub, b)
+	case Opt:
+		if _, ok := b.(Empty); ok {
+			return true
+		}
+		return Equal(va.Sub, b)
+	}
+	return false
+}

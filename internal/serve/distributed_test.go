@@ -1,0 +1,88 @@
+package serve
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/mediator"
+	"repro/internal/xmas"
+)
+
+// TestDistributedStackedMediators wires two mediators over HTTP: the lower
+// one serves a view (with its inferred DTD); the upper one registers that
+// remote view as a source through HTTPSource, infers ITS view DTD from the
+// remote's inferred DTD, and answers queries — the paper's stacked-
+// mediator architecture, distributed.
+func TestDistributedStackedMediators(t *testing.T) {
+	lower := newServer(t) // serves view "members" over the department
+
+	src, err := mediator.NewHTTPSource(nil, lower.URL, "members")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(src.Name(), "/views/members") {
+		t.Errorf("source name = %q", src.Name())
+	}
+	if src.Schema().Root != "members" {
+		t.Errorf("remote schema root = %q", src.Schema().Root)
+	}
+
+	upper := mediator.New("portal")
+	if err := upper.AddSource(src); err != nil {
+		t.Fatal(err)
+	}
+	v, err := upper.DefineView(src.Name(), xmas.MustParse(
+		`profs = SELECT X WHERE <members> X:<professor><publication/></professor> </members>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := upper.Materialize("profs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Root.Children) != 1 || doc.Root.Children[0].ID != "ana" {
+		t.Errorf("stacked result: %v", doc.Root)
+	}
+	if err := v.DTD.Validate(doc); err != nil {
+		t.Errorf("stacked view DTD: %v", err)
+	}
+
+	// The upper mediator's DTD-based simplifier works against the remote
+	// inferred schema: an impossible query is answered locally.
+	res, stats, err := upper.Query("profs", xmas.MustParse(
+		`none = SELECT X WHERE <profs> X:<course/> </profs>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.SkippedUnsatisfiable || len(res.Root.Children) != 0 {
+		t.Errorf("remote-schema simplification failed: %+v", stats)
+	}
+
+	// And it can itself be served, three levels deep.
+	top := httptest.NewServer(New(upper))
+	defer top.Close()
+	code, body, _ := get(t, top.URL+"/views/profs/dtd")
+	if code != 200 || !strings.Contains(body, "<!DOCTYPE profs") {
+		t.Errorf("third-level DTD endpoint: %d %q", code, body)
+	}
+}
+
+func TestHTTPSourceErrors(t *testing.T) {
+	lower := newServer(t)
+	if _, err := mediator.NewHTTPSource(nil, lower.URL, "nosuch"); err == nil {
+		t.Error("unknown remote view must fail at registration")
+	}
+	if _, err := mediator.NewHTTPSource(nil, "http://127.0.0.1:1", "members"); err == nil {
+		t.Error("unreachable server must fail")
+	}
+	// A live source whose server later vanishes fails at Fetch.
+	src, err := mediator.NewHTTPSource(nil, lower.URL, "members")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lower.Close()
+	if _, err := src.Fetch(); err == nil {
+		t.Error("fetch after server death must fail")
+	}
+}

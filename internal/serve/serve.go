@@ -1,0 +1,240 @@
+// Package serve exposes a mediator over HTTP — the deployment shape the
+// paper describes ("a mediated view is assigned a URL thru which it will
+// be accessed by queries", Section 2.1). Endpoints:
+//
+//	GET  /views                     list views (text)
+//	GET  /views/{name}              the materialized view document (XML)
+//	GET  /views/{name}/dtd          the inferred plain view DTD
+//	GET  /views/{name}/sdtd         the inferred specialized view DTD
+//	POST /views/{name}/query        body: a XMAS query; response: view XML
+//	GET  /views/{name}/outline      the view DTD as an annotated tree
+//	GET  /sources                   list sources (text)
+//	GET  /sources/{name}/dtd        a source's DTD
+//	GET  /sources/{name}/outline    the source DTD as an annotated tree
+//	POST /infer                     body: DOCTYPE + XMAS query; response:
+//	                                inferred s-DTD, plain DTD, classification
+//
+// Queries posted to a view are answered through the mediator's
+// DTD-simplifying path; the X-Mix-Skipped/X-Mix-Pruned response headers
+// report what the simplifier did.
+package serve
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"repro/internal/browse"
+	"repro/internal/dtd"
+	"repro/internal/infer"
+	"repro/internal/mediator"
+	"repro/internal/xmas"
+	"repro/internal/xmlmodel"
+)
+
+// Handler wraps a mediator as an http.Handler.
+type Handler struct {
+	m   *mediator.Mediator
+	mux *http.ServeMux
+}
+
+// New builds the HTTP facade for a mediator.
+func New(m *mediator.Mediator) *Handler {
+	h := &Handler{m: m, mux: http.NewServeMux()}
+	h.mux.HandleFunc("GET /views", h.listViews)
+	h.mux.HandleFunc("GET /views/{name}", h.getView)
+	h.mux.HandleFunc("GET /views/{name}/dtd", h.getViewDTD)
+	h.mux.HandleFunc("GET /views/{name}/sdtd", h.getViewSDTD)
+	h.mux.HandleFunc("POST /views/{name}/query", h.postQuery)
+	h.mux.HandleFunc("GET /views/{name}/outline", h.getViewOutline)
+	h.mux.HandleFunc("GET /sources", h.listSources)
+	h.mux.HandleFunc("GET /sources/{name}/dtd", h.getSourceDTD)
+	h.mux.HandleFunc("GET /sources/{name}/outline", h.getSourceOutline)
+	h.mux.HandleFunc("POST /infer", h.postInfer)
+	return h
+}
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.mux.ServeHTTP(w, r)
+}
+
+func (h *Handler) listViews(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	for _, v := range h.m.Views() {
+		fmt.Fprintln(w, v)
+	}
+}
+
+func (h *Handler) listSources(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	for _, s := range h.m.Sources() {
+		fmt.Fprintln(w, s)
+	}
+}
+
+func (h *Handler) getView(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	doc, err := h.m.Materialize(name)
+	if err != nil {
+		http.Error(w, err.Error(), statusFor(err))
+		return
+	}
+	v, err := h.m.View(name)
+	if err != nil {
+		http.Error(w, err.Error(), statusFor(err))
+		return
+	}
+	w.Header().Set("Content-Type", "application/xml; charset=utf-8")
+	io.WriteString(w, mediatorMarshal(doc, v))
+}
+
+// mediatorMarshal inlines the inferred DTD so clients receive a valid
+// (DTD-carrying) document, per Definition 2.4.
+func mediatorMarshal(doc *xmlmodel.Document, v *mediator.View) string {
+	var b strings.Builder
+	b.WriteString(v.DTD.String())
+	b.WriteByte('\n')
+	b.WriteString(xmlmodel.MarshalElement(doc.Root, 2))
+	return b.String()
+}
+
+func (h *Handler) getViewDTD(w http.ResponseWriter, r *http.Request) {
+	v, err := h.m.View(r.PathValue("name"))
+	if err != nil {
+		http.Error(w, err.Error(), statusFor(err))
+		return
+	}
+	w.Header().Set("Content-Type", "application/xml-dtd; charset=utf-8")
+	fmt.Fprintln(w, v.DTD)
+}
+
+func (h *Handler) getViewSDTD(w http.ResponseWriter, r *http.Request) {
+	v, err := h.m.View(r.PathValue("name"))
+	if err != nil {
+		http.Error(w, err.Error(), statusFor(err))
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, v.SDTD)
+	if v.NonTight {
+		fmt.Fprintln(w, "<!-- note: merging this s-DTD to a plain DTD loses tightness -->")
+	}
+}
+
+func (h *Handler) getSourceDTD(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	for _, s := range h.m.Sources() {
+		if s == name {
+			wrapper, err := h.m.Wrapper(name)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			w.Header().Set("Content-Type", "application/xml-dtd; charset=utf-8")
+			fmt.Fprintln(w, wrapper.Schema())
+			return
+		}
+	}
+	http.Error(w, "unknown source "+name, http.StatusNotFound)
+}
+
+// getViewOutline serves the structure display of the DTD-based query
+// interface for a view's inferred DTD.
+func (h *Handler) getViewOutline(w http.ResponseWriter, r *http.Request) {
+	v, err := h.m.View(r.PathValue("name"))
+	if err != nil {
+		http.Error(w, err.Error(), statusFor(err))
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, browse.Outline(v.DTD, browse.OutlineOptions{}))
+}
+
+// getSourceOutline serves the structure display for a source DTD.
+func (h *Handler) getSourceOutline(w http.ResponseWriter, r *http.Request) {
+	wrapper, err := h.m.Wrapper(r.PathValue("name"))
+	if err != nil {
+		http.Error(w, err.Error(), statusFor(err))
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, browse.Outline(wrapper.Schema(), browse.OutlineOptions{}))
+}
+
+func (h *Handler) postQuery(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	q, err := xmas.Parse(string(body))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	doc, stats, err := h.m.Query(name, q)
+	if err != nil {
+		http.Error(w, err.Error(), statusFor(err))
+		return
+	}
+	w.Header().Set("Content-Type", "application/xml; charset=utf-8")
+	w.Header().Set("X-Mix-Skipped", fmt.Sprint(stats.SkippedUnsatisfiable))
+	w.Header().Set("X-Mix-Pruned", fmt.Sprint(stats.PrunedConditions))
+	w.Header().Set("X-Mix-Dropped-Names", fmt.Sprint(stats.DroppedNames))
+	io.WriteString(w, xmlmodel.MarshalElement(doc.Root, 2))
+}
+
+// postInfer is inference as a service: the request body is a DOCTYPE
+// declaration (the source DTD) immediately followed by a XMAS view
+// definition; the response contains the specialized view DTD, the merged
+// plain view DTD, and the classification, separated by "-- " marker lines
+// (the format of cmd/mixinfer).
+func (h *Handler) postInfer(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	text := string(body)
+	cut := strings.Index(text, "]>")
+	if cut < 0 {
+		http.Error(w, "body must be a DOCTYPE declaration followed by a XMAS query", http.StatusBadRequest)
+		return
+	}
+	src, err := dtd.Parse(text[:cut+2])
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	q, err := xmas.Parse(text[cut+2:])
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	res, err := infer.Infer(q, src)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "-- specialized view DTD")
+	fmt.Fprintln(w, res.SDTD)
+	fmt.Fprintln(w, "-- plain view DTD")
+	fmt.Fprintln(w, res.DTD)
+	fmt.Fprintf(w, "-- classification: %s\n", res.Class)
+	for _, ev := range res.Merges {
+		if ev.Distinct {
+			fmt.Fprintf(w, "-- warning: %s\n", ev)
+		}
+	}
+}
+
+func statusFor(err error) int {
+	if strings.Contains(err.Error(), "unknown view") || strings.Contains(err.Error(), "unknown source") {
+		return http.StatusNotFound
+	}
+	return http.StatusInternalServerError
+}

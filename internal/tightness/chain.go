@@ -1,0 +1,50 @@
+package tightness
+
+import (
+	"repro/internal/dtd"
+	"repro/internal/regex"
+)
+
+// StartsAndEndsChain generates the k-th member of the infinite strictly
+// decreasing chain of sound view DTD types for Example 3.5's startsAndEnds
+// view (the paper's T6, T7, T8, …):
+//
+//	S(0) = (prolog | conclusion)*                      -- the paper's T6
+//	S(k) = (prolog, S(k-1)-blocks*, conclusion)?        -- T7, T8, …
+//
+// precisely: S(k) for k ≥ 1 is "empty, or a prolog, then any sequence of
+// S(k-1)-shaped blocks, then a conclusion". Every member is sound — the
+// view yields balanced prolog/conclusion sequences, which all satisfy
+// every S(k) — and S(k+1) ⊊ S(k): the chain never reaches the (non-
+// regular) view language, which is the paper's Section 3.4 argument that
+// no tightest DTD exists.
+func StartsAndEndsChain(k int) *dtd.DTD {
+	d := dtd.New("startsAndEnds")
+	d.Declare("startsAndEnds", dtd.M(chainModel(k)))
+	d.Declare("prolog", dtd.PC())
+	d.Declare("conclusion", dtd.PC())
+	return d
+}
+
+// chainModel builds the content model S(k).
+func chainModel(k int) regex.Expr {
+	if k <= 0 {
+		return regex.Rep(regex.Or(regex.Nm("prolog"), regex.Nm("conclusion")))
+	}
+	// A "block" at level k is a non-empty S(k-1) body wrapped in
+	// prolog … conclusion; the top level is one such block, optional.
+	return regex.Maybe(block(k))
+}
+
+// block(k) = prolog, inner(k-1), conclusion, where inner(0) is the free
+// mix and inner(j) is any sequence of blocks of level j.
+func block(k int) regex.Expr {
+	return regex.Cat(regex.Nm("prolog"), inner(k-1), regex.Nm("conclusion"))
+}
+
+func inner(j int) regex.Expr {
+	if j <= 0 {
+		return regex.Rep(regex.Or(regex.Nm("prolog"), regex.Nm("conclusion")))
+	}
+	return regex.Rep(block(j))
+}

@@ -1,0 +1,307 @@
+package tightness
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dtd"
+	"repro/internal/engine"
+	"repro/internal/regex"
+	"repro/internal/sdtd"
+	"repro/internal/xmas"
+	"repro/internal/xmlmodel"
+)
+
+// EnumerateClasses returns representatives of the structural classes
+// (Definition 3.5) of documents satisfying the DTD with at most maxElems
+// elements, up to `limit` classes, deterministically ordered. PCDATA values
+// are canonicalized to "s", so each returned document is one class.
+func EnumerateClasses(d *dtd.DTD, maxElems, limit int) []*xmlmodel.Element {
+	e := &enumerator{d: d, minSize: minSizes(d)}
+	if e.minSize[d.Root] < 0 {
+		return nil
+	}
+	return e.trees(d.Root, maxElems, limit)
+}
+
+type enumerator struct {
+	d       *dtd.DTD
+	minSize map[string]int
+	memo    map[string][]*xmlmodel.Element
+}
+
+// minSizes computes the minimal number of elements in a tree rooted at each
+// name (-1 when unrealizable).
+func minSizes(d *dtd.DTD) map[string]int {
+	ms := map[string]int{}
+	for _, n := range d.Names() {
+		ms[n] = -1
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, n := range d.Names() {
+			t := d.Types[n]
+			var c int
+			if t.PCDATA {
+				c = 1
+			} else {
+				body := minWordSize(t.Model, ms)
+				if body < 0 {
+					continue
+				}
+				c = 1 + body
+			}
+			if ms[n] == -1 || c < ms[n] {
+				ms[n] = c
+				changed = true
+			}
+		}
+	}
+	return ms
+}
+
+// minWordSize is the minimal total size of the trees of a word in L(e), or
+// -1 when no realizable word exists.
+func minWordSize(e regex.Expr, ms map[string]int) int {
+	switch v := e.(type) {
+	case regex.Empty:
+		return 0
+	case regex.Fail:
+		return -1
+	case regex.Atom:
+		return ms[v.Name.Base]
+	case regex.Opt, regex.Star:
+		return 0
+	case regex.Plus:
+		return minWordSize(v.Sub, ms)
+	case regex.Concat:
+		sum := 0
+		for _, it := range v.Items {
+			c := minWordSize(it, ms)
+			if c < 0 {
+				return -1
+			}
+			sum += c
+		}
+		return sum
+	case regex.Alt:
+		best := -1
+		for _, it := range v.Items {
+			c := minWordSize(it, ms)
+			if c >= 0 && (best < 0 || c < best) {
+				best = c
+			}
+		}
+		return best
+	}
+	panic(fmt.Sprintf("tightness: unknown node %T", e))
+}
+
+// trees enumerates structural-class representatives rooted at name with at
+// most budget elements, up to limit.
+func (e *enumerator) trees(name string, budget, limit int) []*xmlmodel.Element {
+	if limit <= 0 || e.minSize[name] < 0 || e.minSize[name] > budget {
+		return nil
+	}
+	t := e.d.Types[name]
+	if t.PCDATA {
+		return []*xmlmodel.Element{xmlmodel.NewText(name, "s")}
+	}
+	// Enumerate child-name words whose minimal realization fits, then all
+	// combinations of child trees within the remaining budget.
+	words := regex.Enumerate(t.Model, budget-1, limit*8)
+	var out []*xmlmodel.Element
+	for _, w := range words {
+		need := 0
+		ok := true
+		for _, n := range w {
+			m := e.minSize[n.Base]
+			if m < 0 {
+				ok = false
+				break
+			}
+			need += m
+		}
+		if !ok || need > budget-1 {
+			continue
+		}
+		for _, kids := range e.combine(w, budget-1, limit-len(out)) {
+			out = append(out, xmlmodel.NewElement(name, kids...))
+			if len(out) >= limit {
+				return out
+			}
+		}
+	}
+	return out
+}
+
+// combine enumerates child-tree tuples for the word within the total
+// budget.
+func (e *enumerator) combine(w []regex.Name, budget, limit int) [][]*xmlmodel.Element {
+	if limit <= 0 {
+		return nil
+	}
+	if len(w) == 0 {
+		return [][]*xmlmodel.Element{nil}
+	}
+	restMin := 0
+	for _, n := range w[1:] {
+		restMin += e.minSize[n.Base]
+	}
+	var out [][]*xmlmodel.Element
+	heads := e.trees(w[0].Base, budget-restMin, limit)
+	for _, h := range heads {
+		hs := h.Size()
+		tails := e.combine(w[1:], budget-hs, limit-len(out))
+		for _, tl := range tails {
+			out = append(out, append([]*xmlmodel.Element{h}, tl...))
+			if len(out) >= limit {
+				return out
+			}
+		}
+	}
+	return out
+}
+
+// PrecisionReport quantifies structural tightness at a bound.
+type PrecisionReport struct {
+	// Bound is the maximum view-document size considered.
+	Bound int
+	// Classes is the number of structural classes satisfying the schema
+	// within the bound (capped at the enumeration limit).
+	Classes int
+	// Achievable is how many of those classes actually arise as views of
+	// some source document (within the source search bound).
+	Achievable int
+	// NonTightWitness is a representative unachievable class, if any.
+	NonTightWitness string
+}
+
+// Precision is Achievable / Classes (1 when there are no classes).
+func (r *PrecisionReport) Precision() float64 {
+	if r.Classes == 0 {
+		return 1
+	}
+	return float64(r.Achievable) / float64(r.Classes)
+}
+
+// ViewImage enumerates the structural classes of source documents up to
+// srcBound elements (capped at limit) and returns the set of structure keys
+// of the corresponding view documents. This is the bounded image of the
+// view used to measure structural tightness.
+func ViewImage(q *xmas.Query, src *dtd.DTD, srcBound, limit int) (map[string]bool, error) {
+	image := map[string]bool{}
+	for _, root := range EnumerateClasses(src, srcBound, limit) {
+		// Conditions may test string values (e.g. <name>CS</name>); the
+		// canonical "s" strings in class representatives would never match.
+		// Instantiate the strings the query mentions: for each text
+		// condition value, produce a variant document using it.
+		for _, doc := range instantiateStrings(root, q) {
+			view, err := engine.Eval(q, doc)
+			if err != nil {
+				return nil, err
+			}
+			image[view.Root.StructureKey()] = true
+		}
+	}
+	return image, nil
+}
+
+// instantiateStrings produces document variants whose PCDATA values are
+// drawn from the query's text conditions (plus the canonical "s"), so that
+// string predicates can be satisfied by some variant. For the pick-element
+// fragment, text conditions only ever help matching when their exact value
+// occurs, so trying each mentioned value everywhere is exhaustive for
+// structural purposes.
+func instantiateStrings(root *xmlmodel.Element, q *xmas.Query) []*xmlmodel.Document {
+	values := map[string][]string{} // element name -> candidate strings
+	var collect func(c *xmas.Cond)
+	collect = func(c *xmas.Cond) {
+		if c.HasText {
+			for _, n := range c.Names {
+				values[n] = append(values[n], c.Text)
+			}
+		}
+		for _, k := range c.Children {
+			collect(k)
+		}
+	}
+	collect(q.Root)
+	base := root.Clone()
+	_ = base.AssignIDs("e")
+	docs := []*xmlmodel.Document{{DocType: base.Name, Root: base}}
+	if len(values) == 0 {
+		return docs
+	}
+	// One additional variant: every text element whose name has a
+	// mentioned value receives that value (first mentioned).
+	variant := root.Clone()
+	variant.Walk(func(e *xmlmodel.Element) bool {
+		if e.IsText {
+			if vs, ok := values[e.Name]; ok {
+				e.Text = vs[0]
+			}
+		}
+		return true
+	})
+	_ = variant.AssignIDs("e")
+	return append(docs, &xmlmodel.Document{DocType: variant.Name, Root: variant})
+}
+
+// MeasureDTD measures the structural tightness of a plain view DTD: the
+// fraction of its structural classes (≤ viewBound elements) that are
+// achievable as actual views. srcBound controls how large the searched
+// source documents may be; it should comfortably exceed viewBound.
+func MeasureDTD(viewDTD *dtd.DTD, q *xmas.Query, src *dtd.DTD, viewBound, srcBound, limit int) (*PrecisionReport, error) {
+	image, err := ViewImage(q, src, srcBound, limit)
+	if err != nil {
+		return nil, err
+	}
+	rep := &PrecisionReport{Bound: viewBound}
+	for _, c := range EnumerateClasses(viewDTD, viewBound, limit) {
+		rep.Classes++
+		if image[c.StructureKey()] {
+			rep.Achievable++
+		} else if rep.NonTightWitness == "" {
+			rep.NonTightWitness = xmlmodel.MarshalElement(c, -1)
+		}
+	}
+	return rep, nil
+}
+
+// MeasureSDTD measures the structural tightness of a specialized view DTD:
+// classes are enumerated from the merged plain DTD and filtered by strict
+// s-DTD satisfaction, then tested for achievability.
+func MeasureSDTD(viewSDTD *sdtd.SDTD, q *xmas.Query, src *dtd.DTD, viewBound, srcBound, limit int) (*PrecisionReport, error) {
+	merged, _, err := viewSDTD.Merge()
+	if err != nil {
+		return nil, err
+	}
+	image, err := ViewImage(q, src, srcBound, limit)
+	if err != nil {
+		return nil, err
+	}
+	rep := &PrecisionReport{Bound: viewBound}
+	for _, c := range EnumerateClasses(merged, viewBound, limit) {
+		if viewSDTD.Satisfies(&xmlmodel.Document{DocType: c.Name, Root: c}) != nil {
+			continue
+		}
+		rep.Classes++
+		if image[c.StructureKey()] {
+			rep.Achievable++
+		} else if rep.NonTightWitness == "" {
+			rep.NonTightWitness = xmlmodel.MarshalElement(c, -1)
+		}
+	}
+	return rep, nil
+}
+
+// SortedKeys is a small helper for deterministic reporting of image sets.
+func SortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,168 @@
+package tightness
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/infer"
+	"repro/internal/xmas"
+	"repro/internal/xmlmodel"
+)
+
+func TestWitnessDocumentBasic(t *testing.T) {
+	a := mustDTD(t, `<!DOCTYPE r [ <!ELEMENT r (x*)> <!ELEMENT x (#PCDATA)> ]>`)
+	b := mustDTD(t, `<!DOCTYPE r [ <!ELEMENT r (x+)> <!ELEMENT x (#PCDATA)> ]>`)
+	doc, err := WitnessDocument(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc == nil {
+		t.Fatal("x* vs x+: a witness exists (the empty r)")
+	}
+	if err := a.Validate(doc); err != nil {
+		t.Errorf("witness invalid under a: %v", err)
+	}
+	if err := b.Validate(doc); err == nil {
+		t.Error("witness must violate b")
+	}
+	// Tighter direction: no witness.
+	doc, err = WitnessDocument(b, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc != nil {
+		t.Errorf("x+ is tighter than x*; no witness expected, got %s", xmlmodel.MarshalElement(doc.Root, -1))
+	}
+}
+
+func TestWitnessDocumentDeepTarget(t *testing.T) {
+	// The offending name sits two levels down.
+	a := mustDTD(t, `<!DOCTYPE r [
+	  <!ELEMENT r (m+)>
+	  <!ELEMENT m (u)>
+	  <!ELEMENT u (j|c)>
+	  <!ELEMENT j (#PCDATA)> <!ELEMENT c (#PCDATA)>
+	]>`)
+	b := mustDTD(t, `<!DOCTYPE r [
+	  <!ELEMENT r (m+)>
+	  <!ELEMENT m (u)>
+	  <!ELEMENT u (j)>
+	  <!ELEMENT j (#PCDATA)> <!ELEMENT c (#PCDATA)>
+	]>`)
+	doc, err := WitnessDocument(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc == nil {
+		t.Fatal("witness expected: u may hold a conference under a only")
+	}
+	if err := a.Validate(doc); err != nil {
+		t.Errorf("under a: %v", err)
+	}
+	if b.Validate(doc) == nil {
+		t.Error("must violate b")
+	}
+}
+
+func TestWitnessDocumentRootMismatch(t *testing.T) {
+	a := mustDTD(t, `<!DOCTYPE r [ <!ELEMENT r (x)> <!ELEMENT x (#PCDATA)> ]>`)
+	b := mustDTD(t, `<!DOCTYPE z [ <!ELEMENT z (x)> <!ELEMENT x (#PCDATA)> ]>`)
+	doc, err := WitnessDocument(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc == nil || doc.Root.Name != "r" {
+		t.Fatalf("doc = %v", doc)
+	}
+	if b.Validate(doc) == nil {
+		t.Error("must violate b")
+	}
+}
+
+func TestWitnessDocumentKindMismatch(t *testing.T) {
+	a := mustDTD(t, `<!DOCTYPE r [ <!ELEMENT r (x)> <!ELEMENT x (#PCDATA)> ]>`)
+	b := mustDTD(t, `<!DOCTYPE r [ <!ELEMENT r (x)> <!ELEMENT x (y?)> <!ELEMENT y (#PCDATA)> ]>`)
+	doc, err := WitnessDocument(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc == nil {
+		t.Fatal("witness expected: x kinds differ")
+	}
+	if err := a.Validate(doc); err != nil {
+		t.Errorf("under a: %v", err)
+	}
+	if b.Validate(doc) == nil {
+		t.Error("must violate b")
+	}
+}
+
+func TestWitnessDocumentSkipsUnrealizableBranches(t *testing.T) {
+	a := mustDTD(t, `<!DOCTYPE r [
+	  <!ELEMENT r (x | loop)>
+	  <!ELEMENT x (#PCDATA)>
+	  <!ELEMENT loop (loop)>
+	]>`)
+	b := mustDTD(t, `<!DOCTYPE r [
+	  <!ELEMENT r (y)>
+	  <!ELEMENT y (#PCDATA)>
+	]>`)
+	doc, err := WitnessDocument(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc == nil {
+		t.Fatal("witness expected")
+	}
+	if err := a.Validate(doc); err != nil {
+		t.Errorf("under a: %v", err)
+	}
+}
+
+// TestWitnessDocumentFuzz: for random DTD pairs arising from inference
+// (tight vs naive view DTDs), the witness document — when one exists — is
+// always valid under the first and invalid under the second.
+func TestWitnessDocumentFuzz(t *testing.T) {
+	src := mustDTD(t, d1Text)
+	queries := []string{
+		q2Text,
+		`publist = SELECT P WHERE <department><name>CS</name> <professor|gradStudent> P:<publication><journal/></publication> </> </department>`,
+		`names = SELECT N WHERE <department> N:<name/> </department>`,
+	}
+	r := rand.New(rand.NewSource(5))
+	for _, qs := range queries {
+		q := xmas.MustParse(qs)
+		res, err := infer.Infer(q, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		naive, err := infer.NaiveInfer(q, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// naive is not tighter than inferred: a witness must materialize.
+		doc, err := WitnessDocument(naive, res.DTD)
+		if err != nil {
+			t.Fatalf("%s: %v", q.Name, err)
+		}
+		if doc == nil {
+			t.Fatalf("%s: naive must not be tighter than inferred", q.Name)
+		}
+		if err := naive.Validate(doc); err != nil {
+			t.Errorf("%s: witness invalid under naive: %v", q.Name, err)
+		}
+		if res.DTD.Validate(doc) == nil {
+			t.Errorf("%s: witness still valid under inferred", q.Name)
+		}
+		_ = r
+	}
+}
+
+func TestWitnessDocumentEquivalentDTDs(t *testing.T) {
+	a := mustDTD(t, `<!DOCTYPE r [ <!ELEMENT r (x, x*)> <!ELEMENT x (#PCDATA)> ]>`)
+	b := mustDTD(t, `<!DOCTYPE r [ <!ELEMENT r (x+)> <!ELEMENT x (#PCDATA)> ]>`)
+	doc, err := WitnessDocument(a, b)
+	if err != nil || doc != nil {
+		t.Errorf("equivalent DTDs: doc=%v err=%v", doc, err)
+	}
+}

@@ -1,0 +1,331 @@
+package xmas
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// Parse parses a pick-element XMAS query in the paper's concrete syntax.
+// Keywords (SELECT, WHERE, AND) are case-insensitive; end tags may be
+// written in full (</department>), generically (</>) or as a self-closing
+// start tag (<journal/>). ID attribute values may be bare identifiers
+// (id=Pub1) or quoted (id="Pub1"). Parse validates the query and returns
+// the first validation problem as an error.
+func Parse(input string) (*Query, error) {
+	p := &qparser{src: input}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if errs := q.Validate(); len(errs) > 0 {
+		return nil, errs[0]
+	}
+	return q, nil
+}
+
+// MustParse is Parse that panics on error; for tests and examples.
+func MustParse(input string) *Query {
+	q, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// maxCondDepth bounds condition nesting in queries (the parser recurses).
+const maxCondDepth = 2048
+
+type qparser struct {
+	src   string
+	pos   int
+	depth int
+}
+
+func (p *qparser) errf(format string, args ...any) error {
+	line := 1 + strings.Count(p.src[:p.pos], "\n")
+	return fmt.Errorf("xmas: parse error at line %d: %s", line, fmt.Sprintf(format, args...))
+}
+
+func (p *qparser) ws() {
+	for p.pos < len(p.src) {
+		switch p.src[p.pos] {
+		case ' ', '\t', '\n', '\r':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+func (p *qparser) eof() bool { p.ws(); return p.pos >= len(p.src) }
+
+func (p *qparser) peekByte() byte {
+	if p.pos < len(p.src) {
+		return p.src[p.pos]
+	}
+	return 0
+}
+
+func (p *qparser) ident() string {
+	p.ws()
+	start := p.pos
+	for p.pos < len(p.src) {
+		r, sz := utf8.DecodeRuneInString(p.src[p.pos:])
+		ok := unicode.IsLetter(r) || r == '_' ||
+			(p.pos > start && (unicode.IsDigit(r) || r == '-' || r == '.'))
+		if !ok {
+			break
+		}
+		p.pos += sz
+	}
+	return p.src[start:p.pos]
+}
+
+func (p *qparser) keyword(kw string) bool {
+	p.ws()
+	if len(p.src)-p.pos < len(kw) {
+		return false
+	}
+	if !strings.EqualFold(p.src[p.pos:p.pos+len(kw)], kw) {
+		return false
+	}
+	// must not be a prefix of a longer identifier
+	if p.pos+len(kw) < len(p.src) {
+		r, _ := utf8.DecodeRuneInString(p.src[p.pos+len(kw):])
+		if unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' {
+			return false
+		}
+	}
+	p.pos += len(kw)
+	return true
+}
+
+func (p *qparser) parseQuery() (*Query, error) {
+	q := &Query{Name: "answer"}
+	// Optional "name =" prefix.
+	save := p.pos
+	name := p.ident()
+	p.ws()
+	if name != "" && !strings.EqualFold(name, "SELECT") && p.peekByte() == '=' {
+		p.pos++
+		q.Name = name
+	} else {
+		p.pos = save
+	}
+	if !p.keyword("SELECT") {
+		return nil, p.errf("expected SELECT")
+	}
+	q.PickVar = p.ident()
+	if q.PickVar == "" {
+		return nil, p.errf("expected pick variable after SELECT")
+	}
+	if !p.keyword("WHERE") {
+		return nil, p.errf("expected WHERE")
+	}
+	root, err := p.parseCond()
+	if err != nil {
+		return nil, err
+	}
+	q.Root = root
+	for {
+		p.ws()
+		if !p.keyword("AND") {
+			break
+		}
+		a := p.ident()
+		p.ws()
+		if a == "" || !strings.HasPrefix(p.src[p.pos:], "!=") {
+			return nil, p.errf("expected \"var != var\" after AND")
+		}
+		p.pos += 2
+		b := p.ident()
+		if b == "" {
+			return nil, p.errf("expected variable after !=")
+		}
+		q.Neq = append(q.Neq, [2]string{a, b})
+	}
+	if !p.eof() {
+		return nil, p.errf("trailing input: %.30q", p.src[p.pos:])
+	}
+	return q, nil
+}
+
+func (p *qparser) parseCond() (*Cond, error) {
+	if p.depth >= maxCondDepth {
+		return nil, p.errf("condition nesting exceeds %d levels", maxCondDepth)
+	}
+	p.depth++
+	defer func() { p.depth-- }()
+	p.ws()
+	c := &Cond{}
+	// Optional variable binding "V:".
+	save := p.pos
+	v := p.ident()
+	p.ws()
+	if v != "" && p.peekByte() == ':' {
+		p.pos++
+		c.Var = v
+		p.ws()
+	} else {
+		p.pos = save
+	}
+	if p.peekByte() != '<' {
+		return nil, p.errf("expected '<'")
+	}
+	p.pos++
+	// Name position: *, name, or disjunction; trailing * = recursive.
+	p.ws()
+	if p.peekByte() == '*' {
+		p.pos++ // wildcard
+	} else {
+		for {
+			n := p.ident()
+			if n == "" {
+				return nil, p.errf("expected element name or *")
+			}
+			c.Names = append(c.Names, n)
+			p.ws()
+			if p.peekByte() == '|' {
+				p.pos++
+				p.ws()
+				continue
+			}
+			break
+		}
+		if p.peekByte() == '*' {
+			p.pos++
+			c.Recursive = true
+		}
+	}
+	// Attributes: id=Var.
+	for {
+		p.ws()
+		switch p.peekByte() {
+		case '>':
+			p.pos++
+			return p.parseBody(c)
+		case '/':
+			if strings.HasPrefix(p.src[p.pos:], "/>") {
+				p.pos += 2
+				return c, nil
+			}
+			return nil, p.errf("unexpected '/'")
+		default:
+			attr := p.ident()
+			if attr == "" {
+				return nil, p.errf("expected '>', '/>' or attribute in %s", c.head())
+			}
+			p.ws()
+			if p.peekByte() != '=' {
+				return nil, p.errf("expected '=' after attribute %s", attr)
+			}
+			p.pos++
+			p.ws()
+			var val string
+			if q := p.peekByte(); q == '"' || q == '\'' {
+				p.pos++
+				start := p.pos
+				for p.pos < len(p.src) && p.src[p.pos] != q {
+					p.pos++
+				}
+				if p.pos >= len(p.src) {
+					return nil, p.errf("unterminated attribute value")
+				}
+				val = p.src[start:p.pos]
+				p.pos++
+			} else {
+				val = p.ident()
+				if val == "" {
+					return nil, p.errf("expected value for attribute %s", attr)
+				}
+			}
+			if attr == "id" || attr == "ID" {
+				c.IDVar = val
+			} // other attributes are outside the model and ignored
+		}
+	}
+}
+
+func (p *qparser) parseBody(c *Cond) (*Cond, error) {
+	for {
+		p.ws()
+		if p.pos >= len(p.src) {
+			return nil, p.errf("unterminated condition %s", c.head())
+		}
+		if strings.HasPrefix(p.src[p.pos:], "</") {
+			p.pos += 2
+			p.ws()
+			name := p.ident() // optional; also allow a disjunction or *
+			for {
+				p.ws()
+				if p.peekByte() == '|' || p.peekByte() == '*' {
+					p.pos++
+					p.ident()
+					continue
+				}
+				break
+			}
+			p.ws()
+			if p.peekByte() != '>' {
+				return nil, p.errf("malformed end tag for %s", c.head())
+			}
+			p.pos++
+			if name != "" && len(c.Names) > 0 && !c.MatchesName(name) {
+				return nil, p.errf("end tag </%s> does not match %s", name, c.head())
+			}
+			return c, nil
+		}
+		if p.peekByte() == '<' || startsVarBinding(p.src[p.pos:]) {
+			child, err := p.parseCond()
+			if err != nil {
+				return nil, err
+			}
+			c.Children = append(c.Children, child)
+			continue
+		}
+		// String-content condition.
+		start := p.pos
+		for p.pos < len(p.src) && p.src[p.pos] != '<' {
+			p.pos++
+		}
+		text := strings.TrimSpace(p.src[start:p.pos])
+		if text == "" {
+			return nil, p.errf("unexpected content in %s", c.head())
+		}
+		if len(c.Children) > 0 {
+			return nil, p.errf("condition %s mixes text and subconditions", c.head())
+		}
+		c.HasText = true
+		c.Text = text
+	}
+}
+
+// startsVarBinding reports whether s begins with "ident :" followed by '<',
+// i.e. a variable-bound subcondition.
+func startsVarBinding(s string) bool {
+	i := 0
+	for i < len(s) {
+		r, sz := utf8.DecodeRuneInString(s[i:])
+		ok := unicode.IsLetter(r) || r == '_' || (i > 0 && (unicode.IsDigit(r) || r == '-' || r == '.'))
+		if !ok {
+			break
+		}
+		i += sz
+	}
+	if i == 0 {
+		return false
+	}
+	for i < len(s) && (s[i] == ' ' || s[i] == '\t' || s[i] == '\n' || s[i] == '\r') {
+		i++
+	}
+	if i >= len(s) || s[i] != ':' {
+		return false
+	}
+	i++
+	for i < len(s) && (s[i] == ' ' || s[i] == '\t' || s[i] == '\n' || s[i] == '\r') {
+		i++
+	}
+	return i < len(s) && s[i] == '<'
+}

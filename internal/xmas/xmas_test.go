@@ -1,0 +1,254 @@
+package xmas
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// Q2 is the paper's Example 3.1 query: professors or grad students with at
+// least two journal publications, in the CS department.
+const Q2 = `withJournals =
+SELECT P
+WHERE <department><name>CS</name>
+        P:<professor|gradStudent>
+           <publication id=Pub1><journal></journal></publication>
+           <publication id=Pub2><journal></journal></publication>
+        </>
+      </department>
+AND Pub1 != Pub2`
+
+func TestParseQ2(t *testing.T) {
+	q, err := Parse(Q2)
+	if err != nil {
+		t.Fatalf("Parse(Q2): %v", err)
+	}
+	if q.Name != "withJournals" || q.PickVar != "P" {
+		t.Errorf("header: name=%q pick=%q", q.Name, q.PickVar)
+	}
+	if len(q.Neq) != 1 || q.Neq[0] != [2]string{"Pub1", "Pub2"} {
+		t.Errorf("Neq = %v", q.Neq)
+	}
+	root := q.Root
+	if !reflect.DeepEqual(root.Names, []string{"department"}) {
+		t.Fatalf("root names = %v", root.Names)
+	}
+	if len(root.Children) != 2 {
+		t.Fatalf("root children = %d", len(root.Children))
+	}
+	nameCond := root.Children[0]
+	if !nameCond.HasText || nameCond.Text != "CS" {
+		t.Errorf("name condition = %+v", nameCond)
+	}
+	pick := root.Children[1]
+	if pick.Var != "P" || !reflect.DeepEqual(pick.Names, []string{"professor", "gradStudent"}) {
+		t.Errorf("pick condition = %+v", pick)
+	}
+	if len(pick.Children) != 2 {
+		t.Fatalf("pick children = %d", len(pick.Children))
+	}
+	pub1 := pick.Children[0]
+	if pub1.IDVar != "Pub1" || len(pub1.Children) != 1 || pub1.Children[0].Names[0] != "journal" {
+		t.Errorf("pub1 = %+v", pub1)
+	}
+}
+
+func TestParseQ3(t *testing.T) {
+	// Example 3.2: all journal publications of professors or students.
+	q, err := Parse(`publist =
+	SELECT P
+	WHERE <department><name>CS</name>
+	        <professor|gradStudent>
+	          P:<publication><journal/></publication>
+	        </>
+	      </department>`)
+	if err != nil {
+		t.Fatalf("Parse(Q3): %v", err)
+	}
+	path, err := q.PathToPick()
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := make([]string, len(path))
+	for i, c := range path {
+		names[i] = strings.Join(c.Names, "|")
+	}
+	want := []string{"department", "professor|gradStudent", "publication"}
+	if !reflect.DeepEqual(names, want) {
+		t.Errorf("path = %v, want %v", names, want)
+	}
+}
+
+func TestParseRecursive(t *testing.T) {
+	// Example 3.5's recursive query.
+	q, err := Parse(`startsAndEnds =
+	SELECT X
+	WHERE <section*> X:<prolog|conclusion/> </>`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if !q.Root.Recursive {
+		t.Error("section* must be recursive")
+	}
+	if !q.Root.HasRecursive() {
+		t.Error("HasRecursive")
+	}
+}
+
+func TestParseWildcard(t *testing.T) {
+	q, err := Parse(`SELECT X WHERE <*> X:<a/> </>`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(q.Root.Names) != 0 {
+		t.Errorf("wildcard root names = %v", q.Root.Names)
+	}
+	if !q.Root.MatchesName("anything") {
+		t.Error("wildcard matches any name")
+	}
+	if q.Root.Children[0].MatchesName("b") {
+		t.Error("named condition must not match b")
+	}
+}
+
+func TestParseDefaults(t *testing.T) {
+	q, err := Parse(`SELECT X WHERE X:<a/>`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if q.Name != "answer" {
+		t.Errorf("default name = %q", q.Name)
+	}
+}
+
+func TestParseQuotedID(t *testing.T) {
+	q, err := Parse(`SELECT X WHERE X:<a id="I1"/>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Root.IDVar != "I1" {
+		t.Errorf("IDVar = %q", q.Root.IDVar)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`WHERE <a/>`,                              // no SELECT
+		`SELECT WHERE <a/>`,                       // missing var (WHERE eaten as var, then no WHERE)
+		`SELECT X`,                                // no WHERE
+		`SELECT X WHERE <a>`,                      // unterminated
+		`SELECT X WHERE X:<a></b>`,                // mismatched end
+		`SELECT X WHERE X:<a/> AND Y != Z`,        // unbound vars in !=
+		`SELECT X WHERE <a/>`,                     // pick var unbound
+		`SELECT X WHERE X:<a/> trailing`,          // trailing junk
+		`SELECT X WHERE X:<a id=1/>`,              // bad id value
+		`SELECT X WHERE X:<a>text<b/></a>`,        // text + subconditions
+		`SELECT X WHERE X:<a/> AND X != X`,        // trivially unsatisfiable
+		`SELECT X WHERE <a> X:<b/> X:<c/> </a>`,   // X bound twice
+		`SELECT X WHERE <|a> X:<b/> </>`,          // empty disjunct
+	}
+	for _, s := range bad {
+		if q, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) succeeded: %v", s, q)
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	inputs := []string{
+		Q2,
+		`SELECT X WHERE X:<a/>`,
+		`SELECT X WHERE <a> <b>hello world</b> X:<c|d id=I/> </a> AND I != J AND J != K`,
+		`SELECT X WHERE <s*> X:<p/> </>`,
+	}
+	for _, in := range inputs {
+		q, err := Parse(in)
+		if err != nil {
+			if strings.Contains(in, "J != K") {
+				continue // J, K unbound: expected to fail
+			}
+			t.Errorf("Parse(%q): %v", in, err)
+			continue
+		}
+		back, err := Parse(q.String())
+		if err != nil {
+			t.Errorf("reparse of %q failed: %v\nrendered:\n%s", in, err, q)
+			continue
+		}
+		if back.String() != q.String() {
+			t.Errorf("round trip not stable:\n%s\nvs\n%s", q, back)
+		}
+	}
+}
+
+func TestValidateCollectsAll(t *testing.T) {
+	q := &Query{PickVar: "P", Root: &Cond{Names: []string{"a"}}}
+	q.Neq = [][2]string{{"X", "Y"}}
+	errs := q.Validate()
+	if len(errs) < 3 { // P unbound, X unbound, Y unbound
+		t.Errorf("Validate = %v", errs)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	q := MustParse(Q2)
+	c := q.Clone()
+	c.Root.Children[0].Text = "EE"
+	if q.Root.Children[0].Text != "CS" {
+		t.Error("Clone must be deep")
+	}
+	if !reflect.DeepEqual(q.MustPath(t), q.MustPath(t)) {
+		t.Error("sanity")
+	}
+}
+
+// MustPath is a test helper.
+func (q *Query) MustPath(t *testing.T) []string {
+	t.Helper()
+	path, err := q.PathToPick()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]string, len(path))
+	for i, c := range path {
+		out[i] = c.head()
+	}
+	return out
+}
+
+func TestVars(t *testing.T) {
+	q := MustParse(Q2)
+	got := q.Root.Vars()
+	want := []string{"P", "Pub1", "Pub2"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Vars = %v, want %v", got, want)
+	}
+}
+
+func TestSelfClosingAndFullEndTags(t *testing.T) {
+	a, err := Parse(`SELECT X WHERE <a> X:<b></b> </a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Parse(`SELECT X WHERE <a> X:<b/> </>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Errorf("equivalent syntaxes parse differently:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestCaseInsensitiveKeywords(t *testing.T) {
+	if _, err := Parse(`select X where X:<a/>`); err != nil {
+		t.Errorf("lowercase keywords: %v", err)
+	}
+}
+
+func TestCondDepthGuard(t *testing.T) {
+	deep := "SELECT X WHERE " + strings.Repeat("<a> ", 100000) + "X:<b/>" + strings.Repeat(" </>", 100000)
+	if _, err := Parse(deep); err == nil || !strings.Contains(err.Error(), "nesting exceeds") {
+		t.Errorf("adversarial nesting must be rejected gracefully, got %v", err)
+	}
+}

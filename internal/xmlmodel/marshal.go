@@ -1,0 +1,82 @@
+package xmlmodel
+
+import (
+	"strings"
+)
+
+// Marshal serializes the document as XML. When indent is negative the
+// output is compact (no added whitespace); otherwise children are placed on
+// their own lines indented by the given number of spaces per level. The
+// DOCTYPE declaration is emitted only when doctype is non-empty; callers
+// that want the internal subset inline should use dtd.MarshalDocument.
+func Marshal(d *Document, indent int) string {
+	var b strings.Builder
+	if d.DocType != "" {
+		b.WriteString("<!DOCTYPE ")
+		b.WriteString(d.DocType)
+		b.WriteString(">")
+		if indent >= 0 {
+			b.WriteByte('\n')
+		}
+	}
+	writeXML(&b, d.Root, indent, 0)
+	if indent >= 0 {
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// MarshalElement serializes a single element subtree as XML.
+func MarshalElement(e *Element, indent int) string {
+	var b strings.Builder
+	writeXML(&b, e, indent, 0)
+	if indent >= 0 {
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func writeXML(b *strings.Builder, e *Element, indent, level int) {
+	pad := func(l int) {
+		if indent >= 0 {
+			b.WriteString(strings.Repeat(" ", indent*l))
+		}
+	}
+	pad(level)
+	b.WriteByte('<')
+	b.WriteString(e.Name)
+	if e.ID != "" {
+		b.WriteString(` id="`)
+		b.WriteString(escapeAttr(e.ID))
+		b.WriteByte('"')
+	}
+	b.WriteByte('>')
+	switch {
+	case e.IsText:
+		b.WriteString(escapeText(e.Text))
+	case len(e.Children) > 0:
+		if indent >= 0 {
+			b.WriteByte('\n')
+		}
+		for _, k := range e.Children {
+			writeXML(b, k, indent, level+1)
+			if indent >= 0 {
+				b.WriteByte('\n')
+			}
+		}
+		pad(level)
+	}
+	b.WriteString("</")
+	b.WriteString(e.Name)
+	b.WriteByte('>')
+}
+
+func escapeText(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}
+
+func escapeAttr(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

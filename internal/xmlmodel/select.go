@@ -1,0 +1,78 @@
+package xmlmodel
+
+import "strings"
+
+// Convenience selectors over element trees — the small navigation API the
+// examples and tools use to inspect documents and views without writing
+// walks by hand. Paths are slash-separated child-name chains relative to
+// (and excluding) the receiver; "*" matches any name.
+
+// ChildrenNamed returns the direct children whose name matches (in order).
+func (e *Element) ChildrenNamed(name string) []*Element {
+	var out []*Element
+	for _, k := range e.Children {
+		if name == "*" || k.Name == name {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// First returns the first element reached by the path, or nil. An empty
+// path returns the receiver.
+func (e *Element) First(path string) *Element {
+	got := e.Select(path)
+	if len(got) == 0 {
+		return nil
+	}
+	return got[0]
+}
+
+// Select returns every element reached by the path, in document order.
+func (e *Element) Select(path string) []*Element {
+	cur := []*Element{e}
+	for _, step := range splitSteps(path) {
+		var next []*Element
+		for _, x := range cur {
+			next = append(next, x.ChildrenNamed(step)...)
+		}
+		cur = next
+	}
+	return cur
+}
+
+// TextOf returns the PCDATA content of the first element on the path, or
+// "" when the path selects nothing or a non-text element.
+func (e *Element) TextOf(path string) string {
+	f := e.First(path)
+	if f == nil || !f.IsText {
+		return ""
+	}
+	return f.Text
+}
+
+// Descendants returns every element in the subtree (excluding e itself)
+// with the given name, in document order.
+func (e *Element) Descendants(name string) []*Element {
+	var out []*Element
+	for _, k := range e.Children {
+		k.Walk(func(x *Element) bool {
+			if name == "*" || x.Name == name {
+				out = append(out, x)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func splitSteps(path string) []string {
+	var out []string
+	for _, s := range strings.Split(path, "/") {
+		s = strings.TrimSpace(s)
+		if s != "" {
+			out = append(out, s)
+		}
+	}
+	return out
+}

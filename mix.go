@@ -1,0 +1,287 @@
+// Package mix is the public API of this reproduction of "Enhancing
+// Semistructured Data Mediators with Document Type Definitions"
+// (Papakonstantinou & Velikhov, ICDE 1999) — the MIX mediator's view-DTD
+// inference, implemented in pure Go.
+//
+// The core workflow:
+//
+//	src, _ := mix.ParseDTD(dtdText)               // the source DTD
+//	q, _ := mix.ParseQuery(xmasText)              // a pick-element XMAS view
+//	res, _ := mix.Infer(q, src)                   // infer the view DTD
+//	fmt.Println(res.SDTD)                         // specialized (tight) form
+//	fmt.Println(res.DTD)                          // plain DTD (merged)
+//
+//	doc, _, _ := mix.ParseDocument(xmlText)       // a source document
+//	view, _ := mix.Eval(q, doc)                   // materialize the view
+//	err := res.DTD.Validate(view)                 // always nil: inference is sound
+//
+// Mediation (Section 1's architecture) lives behind NewMediator: register
+// wrapped sources, define (possibly multi-source union) views — the view
+// DTD is inferred at registration — and pose queries, which are first
+// simplified against the view DTD (unsatisfiable queries never touch the
+// data). Mediators stack via Mediator.AsSource.
+//
+// The formal quality notions of Section 3 are exposed too: Tighter decides
+// the tightness order between DTDs, CheckSoundness samples Definition 3.1,
+// and MeasureDTD / MeasureSDTD quantify structural tightness
+// (Definition 3.7) by bounded enumeration.
+package mix
+
+import (
+	"io"
+	"net/http"
+
+	"repro/internal/automata"
+	"repro/internal/bench"
+	"repro/internal/browse"
+	"repro/internal/dtd"
+	"repro/internal/engine"
+	"repro/internal/gen"
+	"repro/internal/infer"
+	"repro/internal/mediator"
+	"repro/internal/oem"
+	"repro/internal/regex"
+	"repro/internal/sdtd"
+	"repro/internal/tightness"
+	"repro/internal/xmas"
+	"repro/internal/xmlmodel"
+)
+
+// Re-exported core types. Each alias points at the implementing package,
+// whose documentation describes the semantics in terms of the paper.
+type (
+	// Document is an XML document in the paper's model (Definition 2.4).
+	Document = xmlmodel.Document
+	// Element is the paper's Definition 2.1 element.
+	Element = xmlmodel.Element
+	// DTD is a Document Type Definition (Definition 2.2).
+	DTD = dtd.DTD
+	// Type is one element type declaration: PCDATA or a content model.
+	Type = dtd.Type
+	// SDTD is a specialized DTD (Definition 3.8).
+	SDTD = sdtd.SDTD
+	// Name is a possibly specialization-tagged element name.
+	Name = regex.Name
+	// Expr is a regular expression over element names (a content model).
+	Expr = regex.Expr
+	// Query is a pick-element XMAS query or view definition (Section 2.1).
+	Query = xmas.Query
+	// Cond is one node of a tree containment condition.
+	Cond = xmas.Cond
+	// InferResult is the output of view DTD inference.
+	InferResult = infer.Result
+	// Class is the valid/satisfiable/unsatisfiable classification
+	// (Section 4.2's side effect).
+	Class = infer.Class
+	// Mediator hosts wrapped sources and views (Section 1's architecture).
+	Mediator = mediator.Mediator
+	// Wrapper is a source: data plus DTD.
+	Wrapper = mediator.Wrapper
+	// ViewPart is one branch of a (possibly multi-source) view.
+	ViewPart = mediator.ViewPart
+	// Generator samples random valid documents from a DTD.
+	Generator = gen.Generator
+	// GenOptions controls document generation.
+	GenOptions = gen.Options
+	// SoundnessReport summarizes a randomized Definition 3.1 check.
+	SoundnessReport = tightness.SoundnessReport
+	// PrecisionReport quantifies structural tightness at a size bound.
+	PrecisionReport = tightness.PrecisionReport
+	// TightnessWitness explains why one DTD is not tighter than another.
+	TightnessWitness = tightness.Witness
+	// DataGuide is a strong dataguide over OEM data (Section 5's [GW97]).
+	DataGuide = oem.DataGuide
+	// OEMObject is an Object Exchange Model object (the TSIMMIS model).
+	OEMObject = oem.Object
+)
+
+// Classification constants.
+const (
+	Unsatisfiable = infer.Unsatisfiable
+	Satisfiable   = infer.Satisfiable
+	Valid         = infer.Valid
+)
+
+// ErrRecursivePath is returned by Infer for views with recursive path
+// expressions (Section 4.4, footnote 9).
+var ErrRecursivePath = infer.ErrRecursivePath
+
+// ParseDocument parses an XML document; when it carries a DOCTYPE with an
+// internal subset the DTD is parsed too (nil otherwise).
+func ParseDocument(input string) (*Document, *DTD, error) {
+	return dtd.ParseDocument(input)
+}
+
+// ParseElement parses a single XML element.
+func ParseElement(input string) (*Element, error) {
+	return xmlmodel.ParseElement(input)
+}
+
+// MarshalDocument serializes a document, with its DTD inlined as a DOCTYPE
+// internal subset when d is non-nil. Negative indent means compact output.
+func MarshalDocument(doc *Document, d *DTD, indent int) string {
+	return dtd.MarshalDocument(doc, d, indent)
+}
+
+// ParseDTD parses a "<!DOCTYPE root [ ... ]>" declaration.
+func ParseDTD(input string) (*DTD, error) { return dtd.Parse(input) }
+
+// ParseQuery parses a pick-element XMAS query in the paper's syntax.
+func ParseQuery(input string) (*Query, error) { return xmas.Parse(input) }
+
+// MustQuery is ParseQuery that panics on error; for examples and tests.
+func MustQuery(input string) *Query { return xmas.MustParse(input) }
+
+// MustDTD is ParseDTD that panics on error; for examples and tests.
+func MustDTD(input string) *DTD {
+	d, err := dtd.Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// ParseContentModel parses a content-model expression (DTD syntax,
+// optionally with ^tags for specialized DTDs).
+func ParseContentModel(input string) (Expr, error) { return regex.Parse(input) }
+
+// Infer derives the view DTD — specialized and plain — for a pick-element
+// view over the source DTD (Section 4).
+func Infer(q *Query, src *DTD) (*InferResult, error) { return infer.Infer(q, src) }
+
+// NaiveInfer is the unrefined baseline of Example 3.1.
+func NaiveInfer(q *Query, src *DTD) (*DTD, error) { return infer.NaiveInfer(q, src) }
+
+// Refine is the paper's type refinement refine(r, n) (Definition 4.1):
+// the sub-language of r whose words contain the given name.
+func Refine(r Expr, name string) Expr { return infer.RefineName(r, name) }
+
+// SimplifyQuery rewrites a query using DTD knowledge: prunes guaranteed
+// conditions, drops impossible disjuncts, and classifies the query.
+func SimplifyQuery(q *Query, src *DTD) (*Query, *infer.SimplifyReport, error) {
+	return infer.SimplifyQuery(q, src)
+}
+
+// Eval materializes a view: the elements the pick variable binds to,
+// grouped in document order under a root named after the query.
+func Eval(q *Query, doc *Document) (*Document, error) { return engine.Eval(q, doc) }
+
+// EvalElements returns the matched elements themselves (no copies).
+func EvalElements(q *Query, doc *Document) ([]*Element, error) {
+	return engine.EvalElements(q, doc)
+}
+
+// Tighter decides Definition 3.2: every document satisfying d1 satisfies
+// d2. The witness explains a negative answer.
+func Tighter(d1, d2 *DTD) (bool, *TightnessWitness) { return tightness.Tighter(d1, d2) }
+
+// EquivalentDTDs reports that two DTDs describe the same document set.
+func EquivalentDTDs(d1, d2 *DTD) bool { return tightness.Equivalent(d1, d2) }
+
+// WitnessDocument builds a concrete document valid under d1 but not d2 —
+// a certificate that d1 is not tighter than d2 — or nil when d1 is
+// tighter.
+func WitnessDocument(d1, d2 *DTD) (*Document, error) {
+	return tightness.WitnessDocument(d1, d2)
+}
+
+// EquivalentModels reports language equality of two content models.
+func EquivalentModels(a, b Expr) bool { return automata.Equivalent(a, b) }
+
+// CheckSoundness samples Definition 3.1 with `trials` random source
+// documents.
+func CheckSoundness(q *Query, src, viewDTD *DTD, viewSDTD *SDTD, trials int, seed int64) (*SoundnessReport, error) {
+	return tightness.CheckSoundness(q, src, viewDTD, viewSDTD, trials, seed)
+}
+
+// MeasureDTD quantifies the structural tightness (Definition 3.7) of a
+// plain view DTD by bounded enumeration.
+func MeasureDTD(viewDTD *DTD, q *Query, src *DTD, viewBound, srcBound, limit int) (*PrecisionReport, error) {
+	return tightness.MeasureDTD(viewDTD, q, src, viewBound, srcBound, limit)
+}
+
+// MeasureSDTD quantifies the structural tightness of a specialized view
+// DTD.
+func MeasureSDTD(viewSDTD *SDTD, q *Query, src *DTD, viewBound, srcBound, limit int) (*PrecisionReport, error) {
+	return tightness.MeasureSDTD(viewSDTD, q, src, viewBound, srcBound, limit)
+}
+
+// NewMediator creates an empty mediator.
+func NewMediator(name string) *Mediator { return mediator.New(name) }
+
+// ComposeQuery rewrites a query over a view into an equivalent query over
+// the view's source (the mediator's query/view composition step); see
+// mediator.Compose for the composable fragment.
+func ComposeQuery(viewDef, q *Query) (*Query, error) { return mediator.Compose(viewDef, q) }
+
+// Composition sentinel errors.
+var (
+	ErrNotComposable    = mediator.ErrNotComposable
+	ErrEmptyComposition = mediator.ErrEmptyComposition
+)
+
+// NewStaticSource wraps an in-memory document + DTD as a mediator source,
+// validating the document first.
+func NewStaticSource(name string, doc *Document, d *DTD) (Wrapper, error) {
+	return mediator.NewStaticSource(name, doc, d)
+}
+
+// NewGenerator builds a random-document generator for a DTD.
+func NewGenerator(d *DTD, opts GenOptions) (*Generator, error) { return gen.New(d, opts) }
+
+// OutlineDTD renders a DTD as an annotated structure tree — the display a
+// DTD-driven query interface shows the user (Section 1's "DTD-based query
+// interface").
+func OutlineDTD(d *DTD) string { return browse.Outline(d, browse.OutlineOptions{}) }
+
+// NewQueryBuilder starts a schema-guided query builder over the DTD: paths
+// are validated step by step, and errors list the legal alternatives.
+func NewQueryBuilder(d *DTD) *QueryBuilder { return browse.NewBuilder(d) }
+
+// ExplainQuery renders the query with per-condition classifications and
+// the simplifier's decisions — the DTD-aware "explain plan".
+func ExplainQuery(q *Query, src *DTD) (string, error) { return browse.Explain(q, src) }
+
+// CardinalityBounds derives [min, max] bounds on the view's size from the
+// DTD alone — the selectivity estimate a DTD-aware optimizer gets for
+// free (max -1 = unbounded).
+func CardinalityBounds(q *Query, src *DTD) (browse.Cardinality, error) {
+	return browse.CardinalityBounds(q, src)
+}
+
+// ParseSDTD parses the textual form of a specialized DTD (the format
+// SDTD.String produces), making s-DTDs an exchange format between stacked
+// mediators.
+func ParseSDTD(input string) (*SDTD, error) { return sdtd.Parse(input) }
+
+// NewHTTPSource registers a remote mediator view (served by mixserve /
+// internal/serve) as a local source: distributed mediator stacking. A nil
+// client uses http.DefaultClient.
+func NewHTTPSource(client *http.Client, baseURL, view string) (Wrapper, error) {
+	return mediator.NewHTTPSource(client, baseURL, view)
+}
+
+// QueryBuilder is re-exported from the browse package.
+type QueryBuilder = browse.Builder
+
+// OEMFromXML converts an element tree to the Object Exchange Model.
+func OEMFromXML(e *Element) *OEMObject { return oem.FromXML(e) }
+
+// BuildDataGuide constructs the strong dataguide of OEM objects.
+func BuildDataGuide(objs ...*OEMObject) (*DataGuide, error) { return oem.Build(objs...) }
+
+// ParsePath parses an OEM path query ("department.professor|gradStudent",
+// "%" wildcard, trailing "*" recursive) — the TSIMMIS-style access pattern
+// used by the dataguide comparison.
+func ParsePath(s string) (*PathQuery, error) { return oem.ParsePath(s) }
+
+// PathQuery is re-exported from the oem package.
+type PathQuery = oem.PathQuery
+
+// RunExperiments executes the paper-reproduction experiment harness
+// (EXPERIMENTS.md); empty ids runs everything.
+func RunExperiments(w io.Writer, quick bool, ids ...string) error {
+	cfg := bench.DefaultConfig()
+	cfg.Quick = quick
+	return bench.Run(w, cfg, ids...)
+}
