@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test vet bench experiments cover clean
+.PHONY: all build test vet race bench experiments cover clean
 
 all: build vet test
 
@@ -10,10 +10,14 @@ build:
 vet:
 	go vet ./...
 
+# Tier-1 verification; `make race` is the concurrency-hardened variant of
+# the same suite (vet + race-enabled tests) and should be run alongside it
+# whenever the serving path changes.
 test:
 	go test ./...
 
 race:
+	go vet ./...
 	go test -race ./...
 
 bench:

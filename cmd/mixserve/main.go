@@ -10,17 +10,28 @@
 //	   -source cs=dept.xml -source bio=lab.xml \
 //	   -view cs:withJournals.xmas -view bio:prolific.xmas
 //
-// Endpoints: see internal/serve. The view DTDs are inferred at startup;
+// Endpoints: see internal/serve; serving counters are at /metrics (JSON)
+// and /debug/vars (expvar). The view DTDs are inferred at startup;
 // registration fails fast on invalid sources or non-inferable views.
+//
+// The server is hardened for production use: read-header/read/write/idle
+// timeouts bound slow clients, and SIGINT/SIGTERM trigger a graceful
+// drain before exit.
 package main
 
 import (
+	"context"
+	"errors"
+	"expvar"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	mix "repro"
 	"repro/internal/mediator"
@@ -35,6 +46,7 @@ func (r *repeated) Set(v string) error { *r = append(*r, v); return nil }
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	name := flag.String("name", "mix", "mediator name")
+	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "graceful drain deadline on SIGINT/SIGTERM")
 	var sources, views repeated
 	flag.Var(&sources, "source", "source as name=file.xml (repeatable); the file must carry a DOCTYPE internal subset")
 	flag.Var(&views, "view", "view as source:file.xmas (repeatable)")
@@ -93,6 +105,43 @@ func main() {
 	}
 
 	var med *mediator.Mediator = m
+	// The serving counters double as process expvars (GET /debug/vars),
+	// next to the JSON snapshot at GET /metrics.
+	expvar.Publish("mediator", expvar.Func(func() any { return med.Stats() }))
+	mux := http.NewServeMux()
+	mux.Handle("/", serve.New(med))
+	mux.Handle("GET /debug/vars", expvar.Handler())
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
 	log.Printf("mediator %s listening on %s (%d views)", *name, *addr, len(m.Views()))
-	log.Fatal(http.ListenAndServe(*addr, serve.New(med)))
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+		stop()
+		log.Printf("mixserve: signal received, draining (up to %s)", *shutdownTimeout)
+		shCtx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+		defer cancel()
+		if err := srv.Shutdown(shCtx); err != nil {
+			log.Printf("mixserve: shutdown: %v", err)
+			os.Exit(1)
+		}
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("mixserve: serve: %v", err)
+		}
+		log.Printf("mixserve: drained, bye")
+	}
 }

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net"
@@ -87,7 +88,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	doc, err := portal.Materialize("busyProfs")
+	doc, err := portal.Materialize(context.Background(), "busyProfs")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -96,7 +97,7 @@ func main() {
 
 	// DTD knowledge crosses the network: an impossible query is answered
 	// locally, with zero HTTP requests.
-	res, stats, err := portal.Query("busyProfs", mix.MustQuery(
+	res, stats, err := portal.Query(context.Background(), "busyProfs", mix.MustQuery(
 		`none = SELECT X WHERE <busyProfs> X:<course/> </busyProfs>`))
 	if err != nil {
 		log.Fatal(err)

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -74,7 +75,7 @@ func main() {
 	fmt.Printf("s-DTD keeps per-site member types apart: researcher has %d specialization(s)\n\n",
 		len(view.SDTD.Specializations("researcher")))
 
-	doc, err := portal.Materialize("prolific")
+	doc, err := portal.Materialize(context.Background(), "prolific")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -101,7 +102,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	udoc, err := upper.Materialize("scientists")
+	udoc, err := upper.Materialize(context.Background(), "scientists")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -110,7 +111,7 @@ func main() {
 
 	// Query simplification against the view DTD.
 	q1 := mix.MustQuery(`withPub = SELECT X WHERE <prolific> X:<researcher><publication/></researcher> </prolific>`)
-	res, stats, err := portal.Query("prolific", q1)
+	res, stats, err := portal.Query(context.Background(), "prolific", q1)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -119,7 +120,7 @@ func main() {
 	fmt.Println("  (every view member has ≥2 publications, so the existence test is implied by the view DTD)")
 
 	q2 := mix.MustQuery(`odd = SELECT X WHERE <prolific> X:<course/> </prolific>`)
-	res2, stats2, err := portal.Query("prolific", q2)
+	res2, stats2, err := portal.Query(context.Background(), "prolific", q2)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package mix_test
 
 import (
+	"context"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -103,7 +104,7 @@ func TestWholePaper(t *testing.T) {
 	if view.Class != mix.Valid {
 		t.Fatalf("members view class = %v (D1 guarantees members)", view.Class)
 	}
-	matDoc, err := m.Materialize("members")
+	matDoc, err := m.Materialize(context.Background(), "members")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,18 +113,18 @@ func TestWholePaper(t *testing.T) {
 	}
 
 	// Simplification: a provably-empty query never touches data.
-	_, stats, err := m.Query("members", mix.MustQuery(`v = SELECT X WHERE <members> X:<course/> </members>`))
+	_, stats, err := m.Query(context.Background(), "members", mix.MustQuery(`v = SELECT X WHERE <members> X:<course/> </members>`))
 	if err != nil || !stats.SkippedUnsatisfiable {
 		t.Fatalf("unsatisfiable query: %v %+v", err, stats)
 	}
 
 	// Composition: same answers as materialization, no view built.
 	q := mix.MustQuery(`profs = SELECT X WHERE <members> X:<professor><teaches/></professor> </members>`)
-	composed, err := m.QueryComposed("members", q)
+	composed, err := m.QueryComposed(context.Background(), "members", q)
 	if err != nil {
 		t.Fatal(err)
 	}
-	materialized, err := m.QueryUnsimplified("members", q)
+	materialized, err := m.QueryUnsimplified(context.Background(), "members", q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +149,7 @@ func TestWholePaper(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pd, err := portal.Materialize("published")
+	pd, err := portal.Materialize(context.Background(), "published")
 	if err != nil {
 		t.Fatal(err)
 	}

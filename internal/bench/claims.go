@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -288,7 +289,7 @@ func runE11(w io.Writer, cfg Config) (*Outcome, error) {
 	if err != nil {
 		return nil, err
 	}
-	doc, err := m.Materialize("prolific")
+	doc, err := m.Materialize(context.Background(), "prolific")
 	if err != nil {
 		return nil, err
 	}
@@ -314,7 +315,7 @@ func runE11(w io.Writer, cfg Config) (*Outcome, error) {
 	if err != nil {
 		return nil, err
 	}
-	udoc, err := upper.Materialize("sci")
+	udoc, err := upper.Materialize(context.Background(), "sci")
 	if err != nil {
 		return nil, err
 	}

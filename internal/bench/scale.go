@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -88,7 +89,7 @@ func runE14(w io.Writer, cfg Config) (*Outcome, error) {
 		// One representative query through the simplifying path.
 		q := xmas.MustParse(`rs = SELECT X WHERE <published> X:<researcher><publication/></researcher> </published>`)
 		start = time.Now()
-		res, stats, err := m.Query("published", q)
+		res, stats, err := m.Query(context.Background(), "published", q)
 		if err != nil {
 			return nil, err
 		}
@@ -98,7 +99,7 @@ func runE14(w io.Writer, cfg Config) (*Outcome, error) {
 		// An unsatisfiable query never touches the n sites.
 		unsat := xmas.MustParse(`none = SELECT X WHERE <published> X:<grant/> </published>`)
 		start = time.Now()
-		_, ustats, err := m.Query("published", unsat)
+		_, ustats, err := m.Query(context.Background(), "published", unsat)
 		if err != nil {
 			return nil, err
 		}
@@ -106,7 +107,7 @@ func runE14(w io.Writer, cfg Config) (*Outcome, error) {
 		check(&out.Pass, ustats.SkippedUnsatisfiable)
 
 		// The materialized union satisfies its inferred DTDs.
-		doc, err := m.Materialize("published")
+		doc, err := m.Materialize(context.Background(), "published")
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package mediator
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -207,7 +208,7 @@ func nameOverlap(a, b *xmas.Cond) bool {
 // materialization. Union views compose per part. Queries outside the
 // composable fragment return ErrNotComposable; the caller can then use
 // Query (which materializes).
-func (m *Mediator) QueryComposed(viewName string, q *xmas.Query) (*xmlmodel.Document, error) {
+func (m *Mediator) QueryComposed(ctx context.Context, viewName string, q *xmas.Query) (*xmlmodel.Document, error) {
 	v, err := m.View(viewName)
 	if err != nil {
 		return nil, err
@@ -224,7 +225,7 @@ func (m *Mediator) QueryComposed(viewName string, q *xmas.Query) (*xmlmodel.Docu
 		m.mu.Lock()
 		w := m.wrappers[p.Source]
 		m.mu.Unlock()
-		doc, err := w.Fetch()
+		doc, err := w.Fetch(ctx)
 		if err != nil {
 			return nil, err
 		}

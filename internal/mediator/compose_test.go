@@ -1,6 +1,7 @@
 package mediator
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -231,11 +232,11 @@ func TestQueryComposedOnUnionView(t *testing.T) {
 		t.Fatal(err)
 	}
 	q := xmas.MustParse(`withPubs = SELECT X WHERE <allProfs> X:<professor><publication/></professor> </allProfs>`)
-	composed, err := m.QueryComposed("allProfs", q)
+	composed, err := m.QueryComposed(context.Background(), "allProfs", q)
 	if err != nil {
 		t.Fatal(err)
 	}
-	materialized, err := m.QueryUnsimplified("allProfs", q)
+	materialized, err := m.QueryUnsimplified(context.Background(), "allProfs", q)
 	if err != nil {
 		t.Fatal(err)
 	}

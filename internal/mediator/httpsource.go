@@ -1,13 +1,33 @@
 package mediator
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net/http"
 	"strings"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/dtd"
 	"repro/internal/xmlmodel"
+)
+
+// Defaults for the distributed-stacking transport. A remote mediator is
+// just another network service: it can hang (so every request carries a
+// timeout) and it can hiccup (so transient failures are retried a bounded
+// number of times with exponential backoff).
+const (
+	// DefaultHTTPTimeout bounds each individual request attempt when the
+	// caller passes a nil *http.Client.
+	DefaultHTTPTimeout = 10 * time.Second
+	// DefaultHTTPRetries is the number of re-attempts after the first
+	// failed request (so a fetch makes at most 1+DefaultHTTPRetries
+	// round trips).
+	DefaultHTTPRetries = 2
+	// DefaultHTTPBackoff is the delay before the first retry; it doubles
+	// on each subsequent retry.
+	DefaultHTTPBackoff = 100 * time.Millisecond
 )
 
 // HTTPSource is a wrapper over a remote mediator view served over HTTP
@@ -17,28 +37,67 @@ import (
 // view DTDs to the higher level ones" — so a local mediator can run view
 // DTD inference, query simplification and composition against a remote
 // MIX instance without ever seeing its raw sources.
+//
+// The transport is resilient by default: requests are bounded by the
+// client timeout and the caller's context, and transport errors or 5xx
+// responses are retried with exponential backoff. 4xx responses are not
+// retried — an unknown view stays unknown no matter how often it is asked
+// for.
 type HTTPSource struct {
 	name    string
 	client  *http.Client
 	viewURL string
 	schema  *dtd.DTD
+
+	maxRetries int
+	backoff    time.Duration
+	retries    atomic.Int64
+}
+
+// HTTPOption configures an HTTPSource.
+type HTTPOption func(*HTTPSource)
+
+// WithRetries sets the number of re-attempts after a failed request
+// (0 disables retrying).
+func WithRetries(n int) HTTPOption {
+	return func(s *HTTPSource) {
+		if n >= 0 {
+			s.maxRetries = n
+		}
+	}
+}
+
+// WithBackoff sets the delay before the first retry (doubled per retry).
+func WithBackoff(d time.Duration) HTTPOption {
+	return func(s *HTTPSource) {
+		if d > 0 {
+			s.backoff = d
+		}
+	}
 }
 
 // NewHTTPSource contacts baseURL (a mixserve instance) and registers the
 // named remote view as a source. The view DTD is fetched eagerly — schema
 // knowledge is what the mediator needs at view-definition time. A nil
-// client uses http.DefaultClient.
-func NewHTTPSource(client *http.Client, baseURL, view string) (*HTTPSource, error) {
+// client gets a DefaultHTTPTimeout-bounded one (never the timeout-less
+// http.DefaultClient: a hung remote must not wedge the mediator's
+// goroutine fan-out).
+func NewHTTPSource(client *http.Client, baseURL, view string, opts ...HTTPOption) (*HTTPSource, error) {
 	if client == nil {
-		client = http.DefaultClient
+		client = &http.Client{Timeout: DefaultHTTPTimeout}
 	}
 	base := strings.TrimRight(baseURL, "/")
 	s := &HTTPSource{
-		name:    base + "/views/" + view,
-		client:  client,
-		viewURL: base + "/views/" + view,
+		name:       base + "/views/" + view,
+		client:     client,
+		viewURL:    base + "/views/" + view,
+		maxRetries: DefaultHTTPRetries,
+		backoff:    DefaultHTTPBackoff,
 	}
-	body, err := s.get(s.viewURL + "/dtd")
+	for _, opt := range opts {
+		opt(s)
+	}
+	body, err := s.get(context.Background(), s.viewURL+"/dtd")
 	if err != nil {
 		return nil, fmt.Errorf("mediator: fetching remote view DTD: %w", err)
 	}
@@ -60,11 +119,15 @@ func (s *HTTPSource) Name() string { return s.name }
 // Schema implements Wrapper.
 func (s *HTTPSource) Schema() *dtd.DTD { return s.schema }
 
+// Retries reports the total number of transient-failure retries this
+// source has performed; Mediator.Stats sums it into Stats.Retries.
+func (s *HTTPSource) Retries() int64 { return s.retries.Load() }
+
 // Fetch implements Wrapper: it retrieves the materialized remote view and
 // validates it against the remote-provided schema before handing it to the
 // local mediator (never trust the wire).
-func (s *HTTPSource) Fetch() (*xmlmodel.Document, error) {
-	body, err := s.get(s.viewURL)
+func (s *HTTPSource) Fetch(ctx context.Context) (*xmlmodel.Document, error) {
+	body, err := s.get(ctx, s.viewURL)
 	if err != nil {
 		return nil, fmt.Errorf("mediator: fetching remote view: %w", err)
 	}
@@ -78,18 +141,51 @@ func (s *HTTPSource) Fetch() (*xmlmodel.Document, error) {
 	return doc, nil
 }
 
-func (s *HTTPSource) get(url string) (string, error) {
-	resp, err := s.client.Get(url)
+// get performs a GET with bounded retries: transport errors and 5xx
+// responses back off exponentially and retry up to maxRetries times; any
+// other non-200 fails immediately. Cancellation of ctx cuts both the
+// in-flight request (via the request context) and the backoff sleeps.
+func (s *HTTPSource) get(ctx context.Context, url string) (string, error) {
+	var lastErr error
+	backoff := s.backoff
+	for attempt := 0; ; attempt++ {
+		body, status, err := s.tryGet(ctx, url)
+		switch {
+		case err != nil:
+			lastErr = err
+		case status == http.StatusOK:
+			return body, nil
+		case status >= 500:
+			lastErr = fmt.Errorf("GET %s: %d: %s", url, status, strings.TrimSpace(body))
+		default:
+			return "", fmt.Errorf("GET %s: %d: %s", url, status, strings.TrimSpace(body))
+		}
+		if attempt >= s.maxRetries || ctx.Err() != nil {
+			return "", lastErr
+		}
+		select {
+		case <-time.After(backoff):
+		case <-ctx.Done():
+			return "", lastErr
+		}
+		backoff *= 2
+		s.retries.Add(1)
+	}
+}
+
+func (s *HTTPSource) tryGet(ctx context.Context, url string) (string, int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
-		return "", err
+		return "", 0, err
+	}
+	resp, err := s.client.Do(req)
+	if err != nil {
+		return "", 0, err
 	}
 	defer resp.Body.Close()
 	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
 	if err != nil {
-		return "", err
+		return "", 0, err
 	}
-	if resp.StatusCode != http.StatusOK {
-		return "", fmt.Errorf("GET %s: %s: %s", url, resp.Status, strings.TrimSpace(string(body)))
-	}
-	return string(body), nil
+	return string(body), resp.StatusCode, nil
 }

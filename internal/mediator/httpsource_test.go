@@ -1,0 +1,170 @@
+package mediator
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+const remoteDTD = `<!DOCTYPE members [
+  <!ELEMENT members (professor*)>
+  <!ELEMENT professor (#PCDATA)>
+]>`
+
+const remoteDoc = `<members><professor>ana</professor></members>`
+
+// remoteView serves a minimal mixserve-shaped view: /views/v/dtd always
+// answers; /views/v is delegated to the test's handler.
+func remoteView(view func(w http.ResponseWriter, r *http.Request)) *httptest.Server {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /views/v/dtd", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, remoteDTD)
+	})
+	mux.HandleFunc("GET /views/v", view)
+	return httptest.NewServer(mux)
+}
+
+// TestHTTPSourceHangTimesOut: a remote that never answers must produce a
+// bounded-latency error — not a wedged goroutine — via the client timeout.
+func TestHTTPSourceHangTimesOut(t *testing.T) {
+	srv := remoteView(func(w http.ResponseWriter, r *http.Request) {
+		<-r.Context().Done() // hang until the client gives up
+	})
+	defer srv.Close()
+
+	client := &http.Client{Timeout: 100 * time.Millisecond}
+	src, err := NewHTTPSource(client, srv.URL, "v", WithRetries(1), WithBackoff(5*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err = src.Fetch(context.Background())
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("fetch from a hung remote must fail")
+	}
+	if elapsed > 3*time.Second {
+		t.Fatalf("fetch took %v: latency must be bounded by timeout+retries", elapsed)
+	}
+	if got := src.Retries(); got != 1 {
+		t.Errorf("retries = %d, want 1", got)
+	}
+}
+
+// TestHTTPSourceContextDeadline: the caller's context bounds the fetch
+// even when the client itself has no timeout.
+func TestHTTPSourceContextDeadline(t *testing.T) {
+	srv := remoteView(func(w http.ResponseWriter, r *http.Request) {
+		<-r.Context().Done()
+	})
+	defer srv.Close()
+
+	src, err := NewHTTPSource(srv.Client(), srv.URL, "v", WithRetries(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if _, err := src.Fetch(ctx); err == nil {
+		t.Fatal("fetch must fail when the context deadline passes")
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("fetch took %v despite a 100ms context deadline", elapsed)
+	}
+}
+
+// TestHTTPSourceRetriesThenSucceeds: transient 5xx responses are retried
+// with backoff until the remote recovers.
+func TestHTTPSourceRetriesThenSucceeds(t *testing.T) {
+	var calls atomic.Int64
+	srv := remoteView(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			http.Error(w, "transient overload", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, remoteDTD)
+		fmt.Fprintln(w, remoteDoc)
+	})
+	defer srv.Close()
+
+	src, err := NewHTTPSource(nil, srv.URL, "v", WithRetries(3), WithBackoff(time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := src.Fetch(context.Background())
+	if err != nil {
+		t.Fatalf("fetch must succeed after the remote recovers: %v", err)
+	}
+	if len(doc.Root.Children) != 1 {
+		t.Errorf("doc = %v", doc.Root)
+	}
+	if got := src.Retries(); got != 2 {
+		t.Errorf("retries = %d, want 2", got)
+	}
+	// The retry counter feeds Mediator.Stats.
+	m := New("portal")
+	if err := m.AddSource(src); err != nil {
+		t.Fatal(err)
+	}
+	if st := m.Stats(); st.Retries != 2 {
+		t.Errorf("mediator stats retries = %d, want 2", st.Retries)
+	}
+}
+
+// TestHTTPSourceNoRetryOn4xx: client errors are final — an unknown view
+// stays unknown no matter how often it is asked for.
+func TestHTTPSourceNoRetryOn4xx(t *testing.T) {
+	var calls atomic.Int64
+	srv := remoteView(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "unknown view v", http.StatusNotFound)
+	})
+	defer srv.Close()
+
+	src, err := NewHTTPSource(nil, srv.URL, "v", WithRetries(3), WithBackoff(time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.Fetch(context.Background()); err == nil {
+		t.Fatal("404 must fail the fetch")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("view fetched %d times, want 1 (no retry on 4xx)", got)
+	}
+	if got := src.Retries(); got != 0 {
+		t.Errorf("retries = %d, want 0", got)
+	}
+}
+
+// TestHTTPSourceRetriesRegistration: the eager DTD fetch at registration
+// time gets the same resilience as Fetch.
+func TestHTTPSourceRetriesRegistration(t *testing.T) {
+	var calls atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /views/v/dtd", func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 1 {
+			http.Error(w, "warming up", http.StatusInternalServerError)
+			return
+		}
+		fmt.Fprintln(w, remoteDTD)
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	src, err := NewHTTPSource(nil, srv.URL, "v", WithRetries(2), WithBackoff(time.Millisecond))
+	if err != nil {
+		t.Fatalf("registration must survive a transient 500: %v", err)
+	}
+	if src.Schema().Root != "members" {
+		t.Errorf("schema root = %q", src.Schema().Root)
+	}
+	if !strings.Contains(src.Name(), "/views/v") {
+		t.Errorf("name = %q", src.Name())
+	}
+}

@@ -12,12 +12,22 @@
 // Union views over several sources reproduce the paper's motivating
 // scenario of integrating many sites; their view DTD is the combination of
 // the per-source inferred s-DTDs.
+//
+// The serving path is built for concurrent use: materializations are
+// deduplicated per view (N concurrent cache misses evaluate the view
+// once), cache write-backs are guarded by a generation counter so an
+// Invalidate during an in-flight evaluation can never be overwritten by
+// the stale result, and every data-touching operation takes a
+// context.Context that cancels remote fetches.
 package mediator
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/dtd"
 	"repro/internal/engine"
@@ -28,6 +38,14 @@ import (
 	"repro/internal/xmlmodel"
 )
 
+// Sentinel errors for name lookups. Callers (notably internal/serve)
+// distinguish "no such view/source" from evaluation failures with
+// errors.Is rather than by matching message text.
+var (
+	ErrUnknownView   = errors.New("unknown view")
+	ErrUnknownSource = errors.New("unknown source")
+)
+
 // Wrapper is the interface a source exports to the mediator: data plus
 // schema, both in the XML model ("wrappers conceptually export the source
 // data translated into" the common model; here the model is XML+DTD rather
@@ -35,10 +53,17 @@ import (
 type Wrapper interface {
 	// Name identifies the source within the mediator.
 	Name() string
-	// Fetch returns the source's current document.
-	Fetch() (*xmlmodel.Document, error)
+	// Fetch returns the source's current document. Implementations that
+	// touch the network must honor ctx cancellation.
+	Fetch(ctx context.Context) (*xmlmodel.Document, error)
 	// Schema returns the source DTD.
 	Schema() *dtd.DTD
+}
+
+// RetryCounter is optionally implemented by wrappers that retry transient
+// failures (HTTPSource); Mediator.Stats sums these into Stats.Retries.
+type RetryCounter interface {
+	Retries() int64
 }
 
 // StaticSource is an in-memory wrapper over a fixed document.
@@ -60,7 +85,12 @@ func NewStaticSource(name string, doc *xmlmodel.Document, d *dtd.DTD) (*StaticSo
 func (s *StaticSource) Name() string { return s.SourceName }
 
 // Fetch implements Wrapper.
-func (s *StaticSource) Fetch() (*xmlmodel.Document, error) { return s.Doc, nil }
+func (s *StaticSource) Fetch(ctx context.Context) (*xmlmodel.Document, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return s.Doc, nil
+}
 
 // Schema implements Wrapper.
 func (s *StaticSource) Schema() *dtd.DTD { return s.DTD }
@@ -96,6 +126,20 @@ type QueryStats struct {
 	// PrunedConditions / DroppedNames are the simplifier's rewrite counts.
 	PrunedConditions int
 	DroppedNames     int
+	// SimplifierError records a SimplifyQuery failure. The query is then
+	// answered through the unsimplified path, so benchmarks must not
+	// mistake a broken simplifier (zero pruning, zero skips) for a fast
+	// one; internal/serve surfaces this as X-Mix-Simplifier-Error.
+	SimplifierError string
+}
+
+// inflightCall is one in-progress materialization; followers wait on done
+// and read doc/err, which are written exactly once before done is closed.
+type inflightCall struct {
+	gen  uint64 // cache generation when the evaluation started
+	done chan struct{}
+	doc  *xmlmodel.Document
+	err  error
 }
 
 // Mediator hosts wrappers and views.
@@ -106,6 +150,13 @@ type Mediator struct {
 	wrappers map[string]Wrapper
 	views    map[string]*View
 	matCache map[string]*xmlmodel.Document
+	inflight map[string]*inflightCall
+	// gen counts Invalidate calls. A materialization started under an
+	// older generation must not populate matCache: its result may predate
+	// the source change the invalidation announced.
+	gen uint64
+
+	stats statsCounters
 }
 
 // New creates an empty mediator.
@@ -115,6 +166,7 @@ func New(name string) *Mediator {
 		wrappers: map[string]Wrapper{},
 		views:    map[string]*View{},
 		matCache: map[string]*xmlmodel.Document{},
+		inflight: map[string]*inflightCall{},
 	}
 }
 
@@ -138,7 +190,7 @@ func (m *Mediator) Wrapper(name string) (Wrapper, error) {
 	defer m.mu.Unlock()
 	w, ok := m.wrappers[name]
 	if !ok {
-		return nil, fmt.Errorf("mediator: unknown source %s", name)
+		return nil, fmt.Errorf("mediator: %w %s", ErrUnknownSource, name)
 	}
 	return w, nil
 }
@@ -180,7 +232,7 @@ func (m *Mediator) DefineUnionView(name string, parts []ViewPart) (*View, error)
 	for _, p := range parts {
 		w, ok := m.wrappers[p.Source]
 		if !ok {
-			return nil, fmt.Errorf("mediator: unknown source %s", p.Source)
+			return nil, fmt.Errorf("mediator: %w %s", ErrUnknownSource, p.Source)
 		}
 		q := p.Query.Clone()
 		q.Name = name
@@ -229,7 +281,7 @@ func (m *Mediator) View(name string) (*View, error) {
 	defer m.mu.Unlock()
 	v, ok := m.views[name]
 	if !ok {
-		return nil, fmt.Errorf("mediator: unknown view %s", name)
+		return nil, fmt.Errorf("mediator: %w %s", ErrUnknownView, name)
 	}
 	return v, nil
 }
@@ -247,27 +299,75 @@ func (m *Mediator) Views() []string {
 }
 
 // Materialize evaluates the view against its sources and returns the view
-// document. Results are cached until Invalidate.
-func (m *Mediator) Materialize(viewName string) (*xmlmodel.Document, error) {
+// document. Results are cached until Invalidate. Concurrent calls for the
+// same view are deduplicated: one caller evaluates, the rest wait for its
+// result (or their own ctx). A stale evaluation — one that started before
+// an Invalidate — is returned to its callers but never written back to the
+// cache.
+func (m *Mediator) Materialize(ctx context.Context, viewName string) (*xmlmodel.Document, error) {
 	m.mu.Lock()
 	if doc, ok := m.matCache[viewName]; ok {
 		m.mu.Unlock()
+		m.stats.add(&m.stats.cacheHits, 1)
 		return doc, nil
+	}
+	if c, ok := m.inflight[viewName]; ok {
+		m.mu.Unlock()
+		m.stats.add(&m.stats.dedups, 1)
+		select {
+		case <-c.done:
+			return c.doc, c.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
 	}
 	v, ok := m.views[viewName]
 	if !ok {
 		m.mu.Unlock()
-		return nil, fmt.Errorf("mediator: unknown view %s", viewName)
+		return nil, fmt.Errorf("mediator: %w %s", ErrUnknownView, viewName)
 	}
 	wrappers := make([]Wrapper, len(v.Parts))
 	for i, p := range v.Parts {
 		wrappers[i] = m.wrappers[p.Source]
 	}
+	call := &inflightCall{gen: m.gen, done: make(chan struct{})}
+	m.inflight[viewName] = call
 	m.mu.Unlock()
 
-	// Parts evaluate concurrently — each against its own source — and the
-	// results are concatenated in part order, so the view document is
-	// deterministic regardless of scheduling.
+	m.stats.add(&m.stats.cacheMisses, 1)
+	start := time.Now()
+	doc, err := m.evaluate(ctx, v, wrappers)
+	m.stats.recordMaterialize(viewName, time.Since(start))
+
+	call.doc, call.err = doc, err
+	stale := false
+	m.mu.Lock()
+	// The entry may already have been detached by Invalidate; only remove
+	// it when it is still ours, and only cache results from the current
+	// generation (the stale write-back guard).
+	if m.inflight[viewName] == call {
+		delete(m.inflight, viewName)
+	}
+	if err == nil && call.gen == m.gen {
+		m.matCache[viewName] = doc
+	} else if err == nil {
+		stale = true
+	}
+	m.mu.Unlock()
+	close(call.done)
+	if stale {
+		m.stats.add(&m.stats.staleDiscards, 1)
+	}
+	return doc, err
+}
+
+// evaluate runs the view's parts concurrently — each against its own
+// source — and concatenates the results in part order, so the view
+// document is deterministic regardless of scheduling. The first part
+// failure cancels the sibling fetches.
+func (m *Mediator) evaluate(ctx context.Context, v *View, wrappers []Wrapper) (*xmlmodel.Document, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	type partResult struct {
 		children []*xmlmodel.Element
 		err      error
@@ -279,62 +379,89 @@ func (m *Mediator) Materialize(viewName string) (*xmlmodel.Document, error) {
 		go func(i int) {
 			defer wg.Done()
 			p := v.Parts[i]
-			doc, err := wrappers[i].Fetch()
+			doc, err := wrappers[i].Fetch(ctx)
 			if err != nil {
-				results[i].err = fmt.Errorf("mediator: fetching %s: %v", p.Source, err)
+				results[i].err = fmt.Errorf("mediator: fetching %s: %w", p.Source, err)
+				cancel() // abandon sibling fetches: the view cannot complete
 				return
 			}
 			part, err := engine.Eval(p.Query, doc)
 			if err != nil {
 				results[i].err = fmt.Errorf("mediator: evaluating view %s over %s: %v", v.Name, p.Source, err)
+				cancel()
 				return
 			}
 			results[i].children = part.Root.Children
 		}(i)
 	}
 	wg.Wait()
+	// Prefer a root-cause error over a sibling's induced cancellation.
+	var firstErr error
+	for _, r := range results {
+		if r.err != nil && !errors.Is(r.err, context.Canceled) {
+			firstErr = r.err
+			break
+		}
+	}
+	if firstErr == nil {
+		for _, r := range results {
+			if r.err != nil {
+				firstErr = r.err
+				break
+			}
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
 	root := &xmlmodel.Element{Name: v.Name}
 	for _, r := range results {
-		if r.err != nil {
-			return nil, r.err
-		}
 		root.Children = append(root.Children, r.children...)
 	}
-	out := &xmlmodel.Document{DocType: v.Name, Root: root}
-	m.mu.Lock()
-	m.matCache[viewName] = out
-	m.mu.Unlock()
-	return out, nil
+	return &xmlmodel.Document{DocType: v.Name, Root: root}, nil
 }
 
 // Invalidate drops the materialization cache (e.g. after a source change).
+// In-flight evaluations are detached: they still answer the callers
+// already waiting on them, but their results are not cached.
 func (m *Mediator) Invalidate() {
 	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.gen++
 	m.matCache = map[string]*xmlmodel.Document{}
+	m.inflight = map[string]*inflightCall{}
+	m.mu.Unlock()
+	m.stats.add(&m.stats.invalidations, 1)
 }
 
 // Query runs a pick-element query against a view. The query is first
 // simplified against the inferred view DTD: unsatisfiable queries return
 // the empty result without materializing the view, and valid side
-// conditions are pruned before evaluation.
-func (m *Mediator) Query(viewName string, q *xmas.Query) (*xmlmodel.Document, *QueryStats, error) {
+// conditions are pruned before evaluation. A simplifier failure is not
+// fatal — the unsimplified query is evaluated instead — but it is recorded
+// in QueryStats.SimplifierError and the mediator stats.
+func (m *Mediator) Query(ctx context.Context, viewName string, q *xmas.Query) (*xmlmodel.Document, *QueryStats, error) {
 	v, err := m.View(viewName)
 	if err != nil {
 		return nil, nil, err
 	}
+	start := time.Now()
+	defer func() { m.stats.recordQuery(viewName, time.Since(start)) }()
 	stats := &QueryStats{}
 	sq := q
 	if simplified, rep, serr := infer.SimplifyQuery(q, v.DTD); serr == nil {
 		stats.PrunedConditions = rep.PrunedConditions
 		stats.DroppedNames = rep.DroppedNames
+		m.stats.recordSimplify(rep.PrunedConditions, rep.DroppedNames, rep.Class == infer.Unsatisfiable)
 		if rep.Class == infer.Unsatisfiable {
 			stats.SkippedUnsatisfiable = true
 			return &xmlmodel.Document{DocType: q.Name, Root: &xmlmodel.Element{Name: q.Name}}, stats, nil
 		}
 		sq = simplified
+	} else {
+		stats.SimplifierError = serr.Error()
+		m.stats.add(&m.stats.simplifierErrors, 1)
 	}
-	doc, err := m.Materialize(viewName)
+	doc, err := m.Materialize(ctx, viewName)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -348,8 +475,8 @@ func (m *Mediator) Query(viewName string, q *xmas.Query) (*xmlmodel.Document, *Q
 // QueryUnsimplified evaluates the query against the view without the
 // DTD-based simplifier — the "living without structure" baseline used by
 // the benchmarks.
-func (m *Mediator) QueryUnsimplified(viewName string, q *xmas.Query) (*xmlmodel.Document, error) {
-	doc, err := m.Materialize(viewName)
+func (m *Mediator) QueryUnsimplified(ctx context.Context, viewName string, q *xmas.Query) (*xmlmodel.Document, error) {
+	doc, err := m.Materialize(ctx, viewName)
 	if err != nil {
 		return nil, err
 	}
@@ -373,8 +500,8 @@ type viewSource struct {
 
 func (s *viewSource) Name() string { return s.m.name + "/" + s.v.Name }
 
-func (s *viewSource) Fetch() (*xmlmodel.Document, error) {
-	return s.m.Materialize(s.v.Name)
+func (s *viewSource) Fetch(ctx context.Context) (*xmlmodel.Document, error) {
+	return s.m.Materialize(ctx, s.v.Name)
 }
 
 func (s *viewSource) Schema() *dtd.DTD { return s.v.DTD }

@@ -1,6 +1,7 @@
 package mediator
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -82,7 +83,7 @@ func TestDefineViewInfersDTD(t *testing.T) {
 	if !v.NonTight {
 		t.Error("Q2's merge loses tightness; the view must say so")
 	}
-	doc, err := m.Materialize("withJournals")
+	doc, err := m.Materialize(context.Background(), "withJournals")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +134,7 @@ func TestQueryAgainstView(t *testing.T) {
 	// Professors in the view (all view members have ≥2 publications, so a
 	// bare publication test is valid against the view DTD and pruned).
 	q := xmas.MustParse(`profs = SELECT X WHERE <withJournals> X:<professor><publication/></professor> </withJournals>`)
-	res, stats, err := m.Query("withJournals", q)
+	res, stats, err := m.Query(context.Background(), "withJournals", q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +152,7 @@ func TestQueryUnsatisfiableSkipsData(t *testing.T) {
 		t.Fatal(err)
 	}
 	q := xmas.MustParse(`v = SELECT X WHERE <withJournals> X:<course/> </withJournals>`)
-	res, stats, err := m.Query("withJournals", q)
+	res, stats, err := m.Query(context.Background(), "withJournals", q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,7 +163,7 @@ func TestQueryUnsatisfiableSkipsData(t *testing.T) {
 		t.Error("result must be empty")
 	}
 	// The unsimplified baseline agrees on the answer.
-	base, err := m.QueryUnsimplified("withJournals", q)
+	base, err := m.QueryUnsimplified(context.Background(), "withJournals", q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,7 +192,7 @@ func TestStackedMediators(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	doc, err := upper.Materialize("people")
+	doc, err := upper.Materialize(context.Background(), "people")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -243,7 +244,7 @@ func TestUnionViewAcrossHeterogeneousSources(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	doc, err := m.Materialize("allProfs")
+	doc, err := m.Materialize(context.Background(), "allProfs")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -302,13 +303,13 @@ func TestMaterializeCacheAndInvalidate(t *testing.T) {
 	if _, err := m.DefineView("cs-dept", xmas.MustParse(q2Text)); err != nil {
 		t.Fatal(err)
 	}
-	a, _ := m.Materialize("withJournals")
-	b, _ := m.Materialize("withJournals")
+	a, _ := m.Materialize(context.Background(), "withJournals")
+	b, _ := m.Materialize(context.Background(), "withJournals")
 	if a != b {
 		t.Error("materialization must be cached")
 	}
 	m.Invalidate()
-	c, _ := m.Materialize("withJournals")
+	c, _ := m.Materialize(context.Background(), "withJournals")
 	if a == c {
 		t.Error("Invalidate must drop the cache")
 	}
@@ -331,7 +332,7 @@ func TestSourcesAndViewsListing(t *testing.T) {
 	if _, err := m.View("nosuch"); err == nil {
 		t.Error("unknown view lookup must fail")
 	}
-	if _, err := m.Materialize("nosuch"); err == nil {
+	if _, err := m.Materialize(context.Background(), "nosuch"); err == nil {
 		t.Error("unknown view materialization must fail")
 	}
 	if _, err := m.AsSource("nosuch"); err == nil {
@@ -343,7 +344,7 @@ func TestSourcesAndViewsListing(t *testing.T) {
 type failingSource struct{ dtd *dtd.DTD }
 
 func (f *failingSource) Name() string { return "down" }
-func (f *failingSource) Fetch() (*xmlmodel.Document, error) {
+func (f *failingSource) Fetch(ctx context.Context) (*xmlmodel.Document, error) {
 	return nil, errFetch
 }
 func (f *failingSource) Schema() *dtd.DTD { return f.dtd }
@@ -360,18 +361,18 @@ func TestFailingWrapperSurfacesErrors(t *testing.T) {
 		`v = SELECT X WHERE <department> X:<professor/> </department>`)); err != nil {
 		t.Fatalf("view definition needs only the schema: %v", err)
 	}
-	if _, err := m.Materialize("v"); err == nil {
+	if _, err := m.Materialize(context.Background(), "v"); err == nil {
 		t.Error("materialization must surface the fetch error")
 	}
-	if _, _, err := m.Query("v", xmas.MustParse(`q = SELECT X WHERE <v> X:<professor/> </v>`)); err == nil {
+	if _, _, err := m.Query(context.Background(), "v", xmas.MustParse(`q = SELECT X WHERE <v> X:<professor/> </v>`)); err == nil {
 		t.Error("query must surface the fetch error")
 	}
-	if _, err := m.QueryComposed("v", xmas.MustParse(`q = SELECT X WHERE <v> X:<professor/> </v>`)); err == nil {
+	if _, err := m.QueryComposed(context.Background(), "v", xmas.MustParse(`q = SELECT X WHERE <v> X:<professor/> </v>`)); err == nil {
 		t.Error("composed query must surface the fetch error")
 	}
 	// But a DTD-unsatisfiable query is answered without touching the
 	// broken source at all.
-	res, stats, err := m.Query("v", xmas.MustParse(`q = SELECT X WHERE <v> X:<course/> </v>`))
+	res, stats, err := m.Query(context.Background(), "v", xmas.MustParse(`q = SELECT X WHERE <v> X:<course/> </v>`))
 	if err != nil || !stats.SkippedUnsatisfiable || len(res.Root.Children) != 0 {
 		t.Errorf("unsatisfiable query should bypass the source: err=%v stats=%+v", err, stats)
 	}

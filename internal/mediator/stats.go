@@ -1,0 +1,141 @@
+package mediator
+
+import (
+	"sync"
+	"time"
+)
+
+// ViewStats is the per-view slice of a Stats snapshot.
+type ViewStats struct {
+	// Queries counts Query calls that reached this view (including ones
+	// answered by the simplifier without touching data).
+	Queries int64 `json:"queries"`
+	// QueryNanos is the total wall-clock time spent in those calls.
+	QueryNanos int64 `json:"query_nanos"`
+	// Materializations counts actual view evaluations (cache misses).
+	Materializations int64 `json:"materializations"`
+	// MaterializeNanos is the total wall-clock time spent evaluating.
+	MaterializeNanos int64 `json:"materialize_nanos"`
+}
+
+// Stats is a point-in-time snapshot of the mediator's serving counters,
+// exposed over HTTP at GET /metrics (internal/serve) and via expvar
+// (cmd/mixserve).
+type Stats struct {
+	// CacheHits / CacheMisses count Materialize calls answered from /
+	// missing the materialization cache. SingleflightDedups counts calls
+	// that joined an already in-flight evaluation instead of starting
+	// their own; StaleDiscards counts evaluations that completed after an
+	// Invalidate and were therefore not written back.
+	CacheHits          int64 `json:"cache_hits"`
+	CacheMisses        int64 `json:"cache_misses"`
+	SingleflightDedups int64 `json:"singleflight_dedups"`
+	StaleDiscards      int64 `json:"stale_discards"`
+	Invalidations      int64 `json:"invalidations"`
+
+	// Simplifier totals across all queries (Section 4.2's side effects).
+	SimplifierPruned  int64 `json:"simplifier_pruned"`
+	SimplifierDropped int64 `json:"simplifier_dropped"`
+	SimplifierSkips   int64 `json:"simplifier_skips"`
+	SimplifierErrors  int64 `json:"simplifier_errors"`
+
+	// Retries sums the transient-failure retries of all registered
+	// wrappers that expose a RetryCounter (HTTPSource).
+	Retries int64 `json:"retries"`
+
+	// Views holds per-view counters, keyed by view name.
+	Views map[string]ViewStats `json:"views"`
+}
+
+// statsCounters is the mutable backing store for Stats. It has its own
+// mutex and its methods never touch Mediator.mu, so callers may invoke
+// them while holding it (the reverse — holding statsCounters.mu while
+// taking Mediator.mu — never happens).
+type statsCounters struct {
+	mu sync.Mutex
+
+	cacheHits, cacheMisses, dedups, staleDiscards, invalidations int64
+	simplifierPruned, simplifierDropped, simplifierSkips         int64
+	simplifierErrors                                             int64
+	views                                                        map[string]*ViewStats
+}
+
+func (s *statsCounters) add(field *int64, n int64) {
+	s.mu.Lock()
+	*field += n
+	s.mu.Unlock()
+}
+
+func (s *statsCounters) view(name string) *ViewStats {
+	if s.views == nil {
+		s.views = map[string]*ViewStats{}
+	}
+	vs, ok := s.views[name]
+	if !ok {
+		vs = &ViewStats{}
+		s.views[name] = vs
+	}
+	return vs
+}
+
+func (s *statsCounters) recordQuery(view string, d time.Duration) {
+	s.mu.Lock()
+	vs := s.view(view)
+	vs.Queries++
+	vs.QueryNanos += int64(d)
+	s.mu.Unlock()
+}
+
+func (s *statsCounters) recordMaterialize(view string, d time.Duration) {
+	s.mu.Lock()
+	vs := s.view(view)
+	vs.Materializations++
+	vs.MaterializeNanos += int64(d)
+	s.mu.Unlock()
+}
+
+func (s *statsCounters) recordSimplify(pruned, dropped int, skipped bool) {
+	s.mu.Lock()
+	s.simplifierPruned += int64(pruned)
+	s.simplifierDropped += int64(dropped)
+	if skipped {
+		s.simplifierSkips++
+	}
+	s.mu.Unlock()
+}
+
+// Stats returns a consistent snapshot of the serving counters plus the
+// summed retry counts of retry-aware wrappers.
+func (m *Mediator) Stats() Stats {
+	s := &m.stats
+	s.mu.Lock()
+	out := Stats{
+		CacheHits:          s.cacheHits,
+		CacheMisses:        s.cacheMisses,
+		SingleflightDedups: s.dedups,
+		StaleDiscards:      s.staleDiscards,
+		Invalidations:      s.invalidations,
+		SimplifierPruned:   s.simplifierPruned,
+		SimplifierDropped:  s.simplifierDropped,
+		SimplifierSkips:    s.simplifierSkips,
+		SimplifierErrors:   s.simplifierErrors,
+		Views:              make(map[string]ViewStats, len(s.views)),
+	}
+	for name, vs := range s.views {
+		out.Views[name] = *vs
+	}
+	s.mu.Unlock()
+
+	m.mu.Lock()
+	wrappers := make([]Wrapper, 0, len(m.wrappers))
+	for _, w := range m.wrappers {
+		wrappers = append(wrappers, w)
+	}
+	m.mu.Unlock()
+	for _, w := range wrappers {
+		if rc, ok := w.(RetryCounter); ok {
+			out.Retries += rc.Retries()
+		}
+	}
+	return out
+}

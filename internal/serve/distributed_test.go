@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -37,7 +38,7 @@ func TestDistributedStackedMediators(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	doc, err := upper.Materialize("profs")
+	doc, err := upper.Materialize(context.Background(), "profs")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +51,7 @@ func TestDistributedStackedMediators(t *testing.T) {
 
 	// The upper mediator's DTD-based simplifier works against the remote
 	// inferred schema: an impossible query is answered locally.
-	res, stats, err := upper.Query("profs", xmas.MustParse(
+	res, stats, err := upper.Query(context.Background(), "profs", xmas.MustParse(
 		`none = SELECT X WHERE <profs> X:<course/> </profs>`))
 	if err != nil {
 		t.Fatal(err)
@@ -82,7 +83,7 @@ func TestHTTPSourceErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 	lower.Close()
-	if _, err := src.Fetch(); err == nil {
+	if _, err := src.Fetch(context.Background()); err == nil {
 		t.Error("fetch after server death must fail")
 	}
 }

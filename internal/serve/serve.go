@@ -11,15 +11,21 @@
 //	GET  /sources                   list sources (text)
 //	GET  /sources/{name}/dtd        a source's DTD
 //	GET  /sources/{name}/outline    the source DTD as an annotated tree
+//	GET  /metrics                   mediator serving counters (JSON)
 //	POST /infer                     body: DOCTYPE + XMAS query; response:
 //	                                inferred s-DTD, plain DTD, classification
 //
 // Queries posted to a view are answered through the mediator's
 // DTD-simplifying path; the X-Mix-Skipped/X-Mix-Pruned response headers
-// report what the simplifier did.
+// report what the simplifier did, and X-Mix-Simplifier-Error flags a
+// query that fell back to the unsimplified path because the simplifier
+// failed. Handlers pass the request context down to the mediator, so a
+// disconnecting client cancels remote part-fetches.
 package serve
 
 import (
+	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -51,6 +57,7 @@ func New(m *mediator.Mediator) *Handler {
 	h.mux.HandleFunc("GET /sources", h.listSources)
 	h.mux.HandleFunc("GET /sources/{name}/dtd", h.getSourceDTD)
 	h.mux.HandleFunc("GET /sources/{name}/outline", h.getSourceOutline)
+	h.mux.HandleFunc("GET /metrics", h.getMetrics)
 	h.mux.HandleFunc("POST /infer", h.postInfer)
 	return h
 }
@@ -76,7 +83,7 @@ func (h *Handler) listSources(w http.ResponseWriter, r *http.Request) {
 
 func (h *Handler) getView(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	doc, err := h.m.Materialize(name)
+	doc, err := h.m.Materialize(r.Context(), name)
 	if err != nil {
 		http.Error(w, err.Error(), statusFor(err))
 		return
@@ -124,20 +131,23 @@ func (h *Handler) getViewSDTD(w http.ResponseWriter, r *http.Request) {
 }
 
 func (h *Handler) getSourceDTD(w http.ResponseWriter, r *http.Request) {
-	name := r.PathValue("name")
-	for _, s := range h.m.Sources() {
-		if s == name {
-			wrapper, err := h.m.Wrapper(name)
-			if err != nil {
-				http.Error(w, err.Error(), http.StatusInternalServerError)
-				return
-			}
-			w.Header().Set("Content-Type", "application/xml-dtd; charset=utf-8")
-			fmt.Fprintln(w, wrapper.Schema())
-			return
-		}
+	wrapper, err := h.m.Wrapper(r.PathValue("name"))
+	if err != nil {
+		http.Error(w, err.Error(), statusFor(err))
+		return
 	}
-	http.Error(w, "unknown source "+name, http.StatusNotFound)
+	w.Header().Set("Content-Type", "application/xml-dtd; charset=utf-8")
+	fmt.Fprintln(w, wrapper.Schema())
+}
+
+// getMetrics exposes the mediator's serving counters — cache hits/misses,
+// singleflight dedups, simplifier totals, per-view query counts/latency,
+// and wrapper retry counts — as a JSON snapshot.
+func (h *Handler) getMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(h.m.Stats())
 }
 
 // getViewOutline serves the structure display of the DTD-based query
@@ -175,7 +185,7 @@ func (h *Handler) postQuery(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	doc, stats, err := h.m.Query(name, q)
+	doc, stats, err := h.m.Query(r.Context(), name, q)
 	if err != nil {
 		http.Error(w, err.Error(), statusFor(err))
 		return
@@ -184,6 +194,9 @@ func (h *Handler) postQuery(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("X-Mix-Skipped", fmt.Sprint(stats.SkippedUnsatisfiable))
 	w.Header().Set("X-Mix-Pruned", fmt.Sprint(stats.PrunedConditions))
 	w.Header().Set("X-Mix-Dropped-Names", fmt.Sprint(stats.DroppedNames))
+	if stats.SimplifierError != "" {
+		w.Header().Set("X-Mix-Simplifier-Error", stats.SimplifierError)
+	}
 	io.WriteString(w, xmlmodel.MarshalElement(doc.Root, 2))
 }
 
@@ -232,8 +245,12 @@ func (h *Handler) postInfer(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// statusFor maps lookup failures to 404 via the mediator's sentinel
+// errors (message-text matching would misroute a source or view whose
+// name happens to contain "unknown view"); everything else — engine
+// failures, remote fetch errors — is a 500.
 func statusFor(err error) int {
-	if strings.Contains(err.Error(), "unknown view") || strings.Contains(err.Error(), "unknown source") {
+	if errors.Is(err, mediator.ErrUnknownView) || errors.Is(err, mediator.ErrUnknownSource) {
 		return http.StatusNotFound
 	}
 	return http.StatusInternalServerError

@@ -39,6 +39,11 @@ const deptDoc = `<department>
 </department>`
 
 func newServer(t *testing.T) *httptest.Server {
+	srv, _ := newServerAndMediator(t)
+	return srv
+}
+
+func newServerAndMediator(t *testing.T) (*httptest.Server, *mediator.Mediator) {
 	t.Helper()
 	m := mediator.New("campus")
 	d, err := dtd.Parse(d1Text)
@@ -62,7 +67,7 @@ func newServer(t *testing.T) *httptest.Server {
 	}
 	srv := httptest.NewServer(New(m))
 	t.Cleanup(srv.Close)
-	return srv
+	return srv, m
 }
 
 func get(t *testing.T, url string) (int, string, http.Header) {

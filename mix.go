@@ -30,6 +30,7 @@ package mix
 import (
 	"io"
 	"net/http"
+	"time"
 
 	"repro/internal/automata"
 	"repro/internal/bench"
@@ -79,6 +80,10 @@ type (
 	Wrapper = mediator.Wrapper
 	// ViewPart is one branch of a (possibly multi-source) view.
 	ViewPart = mediator.ViewPart
+	// MediatorStats is a snapshot of a mediator's serving counters.
+	MediatorStats = mediator.Stats
+	// HTTPOption configures an HTTP-backed remote source.
+	HTTPOption = mediator.HTTPOption
 	// Generator samples random valid documents from a DTD.
 	Generator = gen.Generator
 	// GenOptions controls document generation.
@@ -220,6 +225,13 @@ var (
 	ErrEmptyComposition = mediator.ErrEmptyComposition
 )
 
+// Lookup sentinel errors: matched with errors.Is to distinguish "no such
+// view/source" from evaluation failures.
+var (
+	ErrUnknownView   = mediator.ErrUnknownView
+	ErrUnknownSource = mediator.ErrUnknownSource
+)
+
 // NewStaticSource wraps an in-memory document + DTD as a mediator source,
 // validating the document first.
 func NewStaticSource(name string, doc *Document, d *DTD) (Wrapper, error) {
@@ -256,10 +268,20 @@ func ParseSDTD(input string) (*SDTD, error) { return sdtd.Parse(input) }
 
 // NewHTTPSource registers a remote mediator view (served by mixserve /
 // internal/serve) as a local source: distributed mediator stacking. A nil
-// client uses http.DefaultClient.
-func NewHTTPSource(client *http.Client, baseURL, view string) (Wrapper, error) {
-	return mediator.NewHTTPSource(client, baseURL, view)
+// client gets a default-timeout one; transient failures (transport errors,
+// 5xx) are retried with exponential backoff — tune with WithRetries /
+// WithBackoff.
+func NewHTTPSource(client *http.Client, baseURL, view string, opts ...HTTPOption) (Wrapper, error) {
+	return mediator.NewHTTPSource(client, baseURL, view, opts...)
 }
+
+// WithRetries bounds how many times an HTTP source retries a transient
+// failure (transport error or 5xx) before giving up.
+func WithRetries(n int) HTTPOption { return mediator.WithRetries(n) }
+
+// WithBackoff sets the initial retry backoff of an HTTP source; it doubles
+// on each successive retry.
+func WithBackoff(d time.Duration) HTTPOption { return mediator.WithBackoff(d) }
 
 // QueryBuilder is re-exported from the browse package.
 type QueryBuilder = browse.Builder

@@ -2,6 +2,7 @@ package mix_test
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -108,7 +109,7 @@ func TestFacadeMediator(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	doc, err := m.Materialize("publist")
+	doc, err := m.Materialize(context.Background(), "publist")
 	if err != nil {
 		t.Fatal(err)
 	}
