@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test vet race bench experiments cover clean
+.PHONY: all build test vet race bench bench-compare experiments cover clean
 
 all: build vet test
 
@@ -12,7 +12,10 @@ vet:
 
 # Tier-1 verification; `make race` is the concurrency-hardened variant of
 # the same suite (vet + race-enabled tests) and should be run alongside it
-# whenever the serving path changes.
+# whenever the serving path changes. The `./...` pattern covers every
+# package, including internal/automata (compiler singleflight hammer) and
+# internal/automata/cache (LRU hammer) — the tests that only prove
+# anything under -race.
 test:
 	go test ./...
 
@@ -22,6 +25,13 @@ race:
 
 bench:
 	go test -bench=. -benchmem ./
+
+# Archive the compiled-automata cache benchmarks (cold vs warm, setKey
+# legacy vs current) as machine-readable JSON, including the cold/warm
+# speedup factors. Compare BENCH_automata.json across commits to track the
+# cache's figure of merit.
+bench-compare:
+	go test -run '^$$' -bench . -benchmem ./internal/automata | go run ./cmd/benchjson | tee BENCH_automata.json
 
 # Regenerate every paper artifact (EXPERIMENTS.md).
 experiments:

@@ -93,6 +93,23 @@ func BenchmarkE4Containment(b *testing.B) {
 	}
 }
 
+// BenchmarkE4ContainmentCold is BenchmarkE4Containment with the
+// compiled-automata cache purged each iteration: the pair quantifies what
+// the cache buys on the mediator's repeated-decision hot path (the warm
+// variant must be at least 5× faster; see internal/automata/bench_test.go
+// for the finer-grained cold/warm splits).
+func BenchmarkE4ContainmentCold(b *testing.B) {
+	t7, _ := mix.ParseContentModel("(prolog, (prolog | conclusion)*, conclusion)?")
+	t8, _ := mix.ParseContentModel("(prolog, (prolog, (prolog | conclusion)*, conclusion)*, conclusion)?")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		mix.PurgeAutomataCache()
+		if !mix.EquivalentModels(t7, t7) || mix.EquivalentModels(t7, t8) {
+			b.Fatal("containment answer changed")
+		}
+	}
+}
+
 // BenchmarkE8DeepListInference measures inference through a 4-step path.
 func BenchmarkE8DeepListInference(b *testing.B) {
 	src := mix.MustDTD(d1Bench)

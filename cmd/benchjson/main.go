@@ -1,0 +1,125 @@
+// Command benchjson converts `go test -bench` text output (read from
+// stdin) into a JSON report on stdout, so benchmark runs can be archived
+// and diffed mechanically (`make bench-compare` writes BENCH_automata.json
+// with it).
+//
+// Besides the per-benchmark numbers it pairs every BenchmarkXxxCold with
+// its BenchmarkXxxWarm sibling and reports the speedup — the figure of
+// merit for the compiled-automata cache.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// Speedup pairs a cold benchmark with its warm sibling.
+type Speedup struct {
+	Base   string  `json:"base"`
+	ColdNs float64 `json:"cold_ns_per_op"`
+	WarmNs float64 `json:"warm_ns_per_op"`
+	Factor float64 `json:"speedup"`
+}
+
+// Report is the whole document.
+type Report struct {
+	Package    string    `json:"package,omitempty"`
+	Benchmarks []Result  `json:"benchmarks"`
+	Speedups   []Speedup `json:"speedups,omitempty"`
+}
+
+func main() {
+	rep := Report{}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if pkg, ok := strings.CutPrefix(line, "pkg: "); ok {
+			rep.Package = strings.TrimSpace(pkg)
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		if r, ok := parseLine(line); ok {
+			rep.Benchmarks = append(rep.Benchmarks, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+
+	byName := map[string]Result{}
+	for _, r := range rep.Benchmarks {
+		byName[r.Name] = r
+	}
+	for _, r := range rep.Benchmarks {
+		base, ok := strings.CutSuffix(r.Name, "Cold")
+		if !ok {
+			continue
+		}
+		warm, ok := byName[base+"Warm"]
+		if !ok || warm.NsPerOp == 0 {
+			continue
+		}
+		rep.Speedups = append(rep.Speedups, Speedup{
+			Base:   base,
+			ColdNs: r.NsPerOp,
+			WarmNs: warm.NsPerOp,
+			Factor: r.NsPerOp / warm.NsPerOp,
+		})
+	}
+
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Println(string(out))
+}
+
+// parseLine parses one "BenchmarkName-8  1000  123.4 ns/op  56 B/op
+// 7 allocs/op" line; the -cpu suffix and the memory columns are optional.
+func parseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Result{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: name, Iterations: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, unit := fields[i], fields[i+1]
+		switch unit {
+		case "ns/op":
+			r.NsPerOp, _ = strconv.ParseFloat(val, 64)
+		case "B/op":
+			r.BytesPerOp, _ = strconv.ParseInt(val, 10, 64)
+		case "allocs/op":
+			r.AllocsPerOp, _ = strconv.ParseInt(val, 10, 64)
+		}
+	}
+	return r, true
+}

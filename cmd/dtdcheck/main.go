@@ -14,12 +14,14 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
 	mix "repro"
+	"repro/internal/automata"
 )
 
 func main() {
@@ -27,7 +29,12 @@ func main() {
 	dtdPath := flag.String("dtd", "", "path to a DTD overriding the document's DOCTYPE")
 	tighter := flag.Bool("tighter", false, "compare two DTD files given as arguments")
 	outline := flag.Bool("outline", false, "print the DTD (from -dtd) as an annotated structure tree and exit")
+	stats := flag.Bool("stats", false, "print compiled-automata cache counters to stderr on exit")
 	flag.Parse()
+	if *stats {
+		exit = func(code int) { printCacheStats(); os.Exit(code) }
+		defer printCacheStats()
+	}
 
 	if *outline {
 		if *dtdPath == "" {
@@ -75,7 +82,7 @@ func main() {
 			}
 		}
 		if !ab {
-			os.Exit(1)
+			exit(1)
 		}
 		return
 	}
@@ -107,11 +114,11 @@ func main() {
 		for _, e := range errs {
 			fmt.Fprintln(os.Stderr, "dtdcheck: DTD problem:", e)
 		}
-		os.Exit(1)
+		exit(1)
 	}
 	if err := d.Validate(doc); err != nil {
 		fmt.Fprintln(os.Stderr, "dtdcheck: INVALID:", err)
-		os.Exit(1)
+		exit(1)
 	}
 	fmt.Println("valid")
 }
@@ -127,4 +134,15 @@ func readDTD(path string) (*mix.DTD, error) {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "dtdcheck:", err)
 	os.Exit(1)
+}
+
+// exit terminates with the given status; -stats rebinds it so the cache
+// counters are printed even on the failure exits, which bypass defers.
+var exit = os.Exit
+
+// printCacheStats dumps the compiled-automata cache counters to stderr
+// (see -stats): one line of JSON, separate from the primary output.
+func printCacheStats() {
+	b, _ := json.Marshal(automata.CacheStats())
+	fmt.Fprintf(os.Stderr, "automata_cache: %s\n", b)
 }

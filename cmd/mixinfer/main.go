@@ -12,11 +12,13 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	mix "repro"
+	"repro/internal/automata"
 )
 
 func main() {
@@ -25,6 +27,7 @@ func main() {
 	naive := flag.Bool("naive", false, "also print the naive (Example 3.1) baseline DTD")
 	plainOnly := flag.Bool("plain-only", false, "print only the merged plain view DTD")
 	sdtdOnly := flag.Bool("sdtd-only", false, "print only the specialized view DTD")
+	stats := flag.Bool("stats", false, "print compiled-automata cache counters to stderr on exit")
 	flag.Parse()
 	if *dtdPath == "" || *queryPath == "" {
 		fmt.Fprintln(os.Stderr, "mixinfer: -dtd and -query are required")
@@ -69,9 +72,20 @@ func main() {
 		fmt.Println("-- naive baseline DTD (Example 3.1)")
 		fmt.Println(nd)
 	}
+	if *stats {
+		printCacheStats()
+	}
 	if res.Class == mix.Unsatisfiable {
 		os.Exit(2)
 	}
+}
+
+// printCacheStats dumps the compiled-automata cache counters to stderr, so
+// scripts can observe how much of the inference run was answered from
+// cache without parsing the primary output.
+func printCacheStats() {
+	b, _ := json.Marshal(automata.CacheStats())
+	fmt.Fprintf(os.Stderr, "automata_cache: %s\n", b)
 }
 
 func readDTD(path string) (*mix.DTD, error) {

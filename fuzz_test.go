@@ -106,6 +106,21 @@ func FuzzParseQuery(f *testing.F) {
 func FuzzParseContentModel(f *testing.F) {
 	seeds := []string{
 		"a, b+, (c|d)*", "a^1, a^2?", "EMPTY", "FAIL", "((a))", "a|", "", "a,,b",
+		// Regression shapes for the compiled-automata cache: deep nesting
+		// (canonical keys must frame correctly at depth), duplicate names
+		// (Glushkov positions must stay distinct), FAIL buried in operators
+		// (empty alternations must simplify without changing the language),
+		// and stars over nullable bodies (minimization edge cases).
+		"((((((a))))))*",
+		"(((a|b)|(a|b))|((a|b)|(a|b)))+",
+		"a, a, a?, a*, a+",
+		"(a|a|a)*",
+		"(FAIL|a), (b|FAIL)?",
+		"(FAIL)*",
+		"(a?, b?)*",
+		"((a*)*)*",
+		"a^1, a^2, (a^1|a^2)*",
+		"((a, b)|(a, c))*, a?",
 	}
 	for _, s := range seeds {
 		f.Add(s)

@@ -132,21 +132,33 @@ func (m *nfa) closure(set map[int]bool) map[int]bool {
 	return set
 }
 
-// setKey builds a compact canonical key for an NFA state set. Subset
-// construction calls this once per discovered transition, so it is the
+// setKeyer builds compact canonical keys for NFA state sets. Subset
+// construction calls it once per discovered transition, so it is the
 // hottest spot when compiling large content models (e.g. union views over
-// many sources); varint encoding of the sorted ids keeps it cheap.
-func setKey(set map[int]bool) string {
-	ids := make([]int, 0, len(set))
+// many sources). The id and byte buffers are reused across calls — one
+// construction allocates two scratch slices total instead of two per
+// discovered transition — and the sorted ids are delta-encoded so almost
+// every varint is a single byte regardless of how large the NFA grows. The
+// only unavoidable allocation left is the string conversion for the map
+// key.
+type setKeyer struct {
+	ids []int
+	buf []byte
+}
+
+func (k *setKeyer) key(set map[int]bool) string {
+	k.ids = k.ids[:0]
 	for s := range set {
-		ids = append(ids, s)
+		k.ids = append(k.ids, s)
 	}
-	sort.Ints(ids)
-	buf := make([]byte, 0, 4*len(ids))
-	for _, id := range ids {
-		buf = binary.AppendUvarint(buf, uint64(id))
+	sort.Ints(k.ids)
+	k.buf = k.buf[:0]
+	prev := 0
+	for _, id := range k.ids {
+		k.buf = binary.AppendUvarint(k.buf, uint64(id-prev))
+		prev = id
 	}
-	return string(buf)
+	return string(k.buf)
 }
 
 // FromExpr compiles e into a complete DFA over the alphabet of names
@@ -176,9 +188,10 @@ func FromExprAlphabet(e regex.Expr, alphabet []regex.Name) *DFA {
 
 	d := &DFA{Alphabet: alpha, index: idx}
 	stateIDs := map[string]int{}
+	var keyer setKeyer
 	var sets []map[int]bool
 	newDState := func(set map[int]bool) int {
-		key := setKey(set)
+		key := keyer.key(set)
 		if id, ok := stateIDs[key]; ok {
 			return id
 		}
@@ -334,38 +347,33 @@ func unionAlphabet(exprs ...regex.Expr) []regex.Name {
 }
 
 // Contains reports whether L(a) ⊆ L(b) — expression a is at least as tight
-// as b in the sense of Definition 3.3.
+// as b in the sense of Definition 3.3. Compilation and the decision itself
+// are memoized in the default compiler cache.
 func Contains(a, b regex.Expr) bool {
-	return Witness(a, b) == nil
+	return defaultCompiler.Contains(a, b)
 }
 
 // Witness returns a shortest word in L(a) \ L(b), or nil when L(a) ⊆ L(b).
-// The empty word is returned as a non-nil empty slice.
+// The empty word is returned as a non-nil empty slice. Cached.
 func Witness(a, b regex.Expr) []regex.Name {
-	alpha := unionAlphabet(a, b)
-	da := FromExprAlphabet(a, alpha)
-	db := FromExprAlphabet(b, alpha)
-	diff := boolOp(da, db, func(x, y bool) bool { return x && !y })
-	if diff.Accept[diff.Start] {
-		return []regex.Name{}
-	}
-	return diff.shortestAccepting()
+	return defaultCompiler.Witness(a, b)
 }
 
-// Equivalent reports whether L(a) = L(b).
+// Equivalent reports whether L(a) = L(b). Cached, symmetric.
 func Equivalent(a, b regex.Expr) bool {
-	return Contains(a, b) && Contains(b, a)
+	return defaultCompiler.Equivalent(a, b)
 }
 
-// IsEmpty reports whether L(e) = ∅ (semantic fail).
+// IsEmpty reports whether L(e) = ∅ (semantic fail). Uses the cached DFA.
 func IsEmpty(e regex.Expr) bool {
-	return FromExpr(e).IsEmpty()
+	return defaultCompiler.IsEmpty(e)
 }
 
-// MatchExpr reports whether the word is in L(e). For repeated matching
-// against one expression, compile once with FromExpr and use DFA.Match.
+// MatchExpr reports whether the word is in L(e), matching against the
+// cached compiled DFA: the first call per expression compiles, every later
+// call is a lookup plus a linear scan of the word.
 func MatchExpr(e regex.Expr, word []regex.Name) bool {
-	return FromExpr(e).Match(word)
+	return defaultCompiler.Match(e, word)
 }
 
 // RestrictTo returns a DFA for the sub-language of d consisting of words

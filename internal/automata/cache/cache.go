@@ -1,0 +1,179 @@
+// Package cache provides the concurrency-safe, size-bounded memoization
+// layer under the automata compiler: an LRU keyed by opaque strings with
+// singleflight-deduplicated computation and hit/miss/eviction/dedup
+// counters.
+//
+// The package is deliberately generic — it knows nothing about DFAs or
+// regular expressions — so its invariants can be property-tested in
+// isolation (hammered from many goroutines under -race) and so other
+// compile-once-use-everywhere artifacts can share it later. The automata
+// package layers the canonical-key discipline (regex.Simplify +
+// regex.Key) on top.
+package cache
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Stats is a point-in-time snapshot of a cache's counters. Hits + Misses +
+// Dedups equals the number of GetOrCompute calls; Misses equals the number
+// of times the compute function actually ran.
+type Stats struct {
+	// Hits counts lookups answered by a resident entry.
+	Hits int64 `json:"hits"`
+	// Misses counts lookups that ran the compute function.
+	Misses int64 `json:"misses"`
+	// Dedups counts lookups that joined another goroutine's in-flight
+	// computation of the same key instead of starting their own
+	// (singleflight): at most one compute runs per key at any moment.
+	Dedups int64 `json:"dedups"`
+	// Evictions counts entries dropped by the LRU bound.
+	Evictions int64 `json:"evictions"`
+	// Size is the current number of resident entries; Capacity the bound.
+	Size     int `json:"size"`
+	Capacity int `json:"capacity"`
+}
+
+// Cache is a size-bounded LRU map with singleflight computation. The zero
+// value is not usable; construct with New. All methods are safe for
+// concurrent use.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int
+	entries  map[string]*list.Element // of *entry; front = most recent
+	order    *list.List
+	inflight map[string]*call
+
+	hits, misses, dedups, evictions int64
+}
+
+type entry struct {
+	key string
+	val any
+}
+
+// call is one in-flight computation; joiners wait on wg and read val/err
+// afterwards (the happens-before edge is wg.Done → wg.Wait).
+type call struct {
+	wg  sync.WaitGroup
+	val any
+	err error
+}
+
+// New returns an empty cache bounded to capacity entries. A non-positive
+// capacity is treated as 1 (a cache that cannot hold anything would turn
+// every lookup into a compute, silently defeating the singleflight
+// accounting the tests rely on).
+func New(capacity int) *Cache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache{
+		capacity: capacity,
+		entries:  map[string]*list.Element{},
+		order:    list.New(),
+		inflight: map[string]*call{},
+	}
+}
+
+// Get returns the resident value for key, if any, marking it most recently
+// used. It never triggers a computation and counts neither a hit nor a
+// miss — use GetOrCompute for the instrumented path.
+func (c *Cache) Get(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*entry).val, true
+}
+
+// GetOrCompute returns the cached value for key, computing and inserting
+// it on a miss. Concurrent calls for the same key run compute exactly once;
+// the others block and share the result (and its error). Errors are not
+// cached: a failed computation leaves the key absent so a later call
+// retries.
+func (c *Cache) GetOrCompute(key string, compute func() (any, error)) (any, error) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.hits++
+		c.order.MoveToFront(el)
+		v := el.Value.(*entry).val
+		c.mu.Unlock()
+		return v, nil
+	}
+	if f, ok := c.inflight[key]; ok {
+		c.dedups++
+		c.mu.Unlock()
+		f.wg.Wait()
+		return f.val, f.err
+	}
+	c.misses++
+	f := &call{}
+	f.wg.Add(1)
+	c.inflight[key] = f
+	c.mu.Unlock()
+
+	f.val, f.err = compute()
+	f.wg.Done()
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if f.err == nil {
+		// A racing Purge/insert may have slipped in while computing; keep
+		// the invariant "one element per key" by checking again.
+		if el, ok := c.entries[key]; ok {
+			c.order.MoveToFront(el)
+		} else {
+			c.entries[key] = c.order.PushFront(&entry{key: key, val: f.val})
+			for c.order.Len() > c.capacity {
+				oldest := c.order.Back()
+				c.order.Remove(oldest)
+				delete(c.entries, oldest.Value.(*entry).key)
+				c.evictions++
+			}
+		}
+	}
+	c.mu.Unlock()
+	return f.val, f.err
+}
+
+// Purge drops every resident entry (in-flight computations finish but are
+// written back normally). Counters are not reset; see ResetStats.
+func (c *Cache) Purge() {
+	c.mu.Lock()
+	c.entries = map[string]*list.Element{}
+	c.order.Init()
+	c.mu.Unlock()
+}
+
+// ResetStats zeroes the counters without touching the entries.
+func (c *Cache) ResetStats() {
+	c.mu.Lock()
+	c.hits, c.misses, c.dedups, c.evictions = 0, 0, 0, 0
+	c.mu.Unlock()
+}
+
+// Len returns the number of resident entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Stats returns a consistent snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Dedups:    c.dedups,
+		Evictions: c.evictions,
+		Size:      c.order.Len(),
+		Capacity:  c.capacity,
+	}
+}

@@ -1,0 +1,251 @@
+package automata
+
+import (
+	"fmt"
+
+	"repro/internal/automata/cache"
+	"repro/internal/regex"
+)
+
+// This file is the compiled-automata cache: every content-model question
+// the mediator answers (validation, containment, equivalence, emptiness,
+// witnesses) funnels through a Compiler that memoizes minimized DFAs and
+// decision results in a shared, concurrency-safe LRU. The same content
+// models recur constantly — every document validated against a view DTD
+// replays the view's models, every Reduce replays the containment checks of
+// its alternatives, every Tighter decision replays both DTDs' models — so
+// compiling each model once and reusing it everywhere converts the
+// dominant cost of the serving path into a hash lookup.
+//
+// Cache keys are canonical serializations of the expression: the DFA tier
+// keys on regex.Key(regex.Simplify(e)), so syntactic variants with the same
+// simplified form (the normal output of inference, which simplifies
+// aggressively) share one compiled automaton; the decision tier keys on the
+// raw regex.Key, so repeated identical questions cost two encodes and one
+// lookup, with equivalence keys normalized to be order-independent. All
+// keys live in one LRU (namespaced by a leading opcode byte), so a single
+// capacity bounds total memory.
+
+// DefaultCacheCapacity bounds the process-wide default compiler. Entries
+// are minimized DFAs of DTD content models — typically a few dozen states —
+// plus booleans and witness words, so the default is generous without being
+// a memory hazard.
+const DefaultCacheCapacity = 8192
+
+// Compiler memoizes DFA compilation and language decisions. All methods
+// are safe for concurrent use; concurrent requests for the same key compile
+// once (singleflight). The returned DFAs are shared — callers must treat
+// them as immutable, which every DFA method already respects.
+type Compiler struct {
+	c *cache.Cache
+}
+
+// NewCompiler returns a compiler bounded to capacity cache entries.
+func NewCompiler(capacity int) *Compiler {
+	return &Compiler{c: cache.New(capacity)}
+}
+
+// defaultCompiler backs the package-level Contains/Equivalent/Witness/
+// IsEmpty/MatchExpr and the Compiled* helpers.
+var defaultCompiler = NewCompiler(DefaultCacheCapacity)
+
+// DefaultCompiler returns the process-wide compiler instance.
+func DefaultCompiler() *Compiler { return defaultCompiler }
+
+// CacheStats returns the counters of the default compiler's cache.
+func CacheStats() cache.Stats { return defaultCompiler.Stats() }
+
+// PurgeCache drops every entry of the default compiler (counters are
+// kept). Benchmarks use it to measure the cold path; a long-running server
+// may use it to shed memory after a schema change.
+func PurgeCache() { defaultCompiler.Purge() }
+
+// ResetCacheStats zeroes the default compiler's counters without dropping
+// entries (tests isolate their accounting with it).
+func ResetCacheStats() { defaultCompiler.c.ResetStats() }
+
+// Compiled returns the cached minimized DFA for e over the alphabet of
+// names occurring in (the simplified form of) e. For repeated matching this
+// replaces FromExpr(e): first use compiles, every later use — from any
+// goroutine — is a lookup.
+func Compiled(e regex.Expr) *DFA { return defaultCompiler.DFA(e) }
+
+// CompiledAlphabet returns the cached DFA for e extended to the given
+// alphabet (which must contain every name of e). The expensive part —
+// Thompson construction, subset construction, minimization — is cached
+// independently of the alphabet; the extension is a cheap table re-index.
+func CompiledAlphabet(e regex.Expr, alphabet []regex.Name) *DFA {
+	return defaultCompiler.DFAAlphabet(e, alphabet)
+}
+
+// Stats returns the compiler cache counters.
+func (cp *Compiler) Stats() cache.Stats { return cp.c.Stats() }
+
+// Purge drops every cached entry.
+func (cp *Compiler) Purge() { cp.c.Purge() }
+
+// DFA returns the minimized DFA of e, compiling it at most once per
+// canonical (simplified) form.
+func (cp *Compiler) DFA(e regex.Expr) *DFA {
+	canon := regex.Simplify(e)
+	key := string(opDFA) + regex.Key(canon)
+	v, _ := cp.c.GetOrCompute(key, func() (any, error) {
+		return FromExpr(canon).Minimize(), nil
+	})
+	return v.(*DFA)
+}
+
+// DFAAlphabet is DFA extended to a larger alphabet (see CompiledAlphabet).
+func (cp *Compiler) DFAAlphabet(e regex.Expr, alphabet []regex.Name) *DFA {
+	return extendTo(cp.DFA(e), alphabet)
+}
+
+// Key namespaces within the shared LRU.
+const (
+	opDFA     = 'd'
+	opWitness = 'w'
+	opEquiv   = 'q'
+)
+
+// witnessResult wraps a cached witness so that "containment holds" (nil)
+// is distinguishable from "not yet computed".
+type witnessResult struct{ word []regex.Name }
+
+// Witness returns a shortest word in L(a) \ L(b), or nil when L(a) ⊆ L(b)
+// (the empty word is a non-nil empty slice). Results are cached per raw
+// (a, b) key; the underlying DFAs are cached per canonical form, so even a
+// cold witness for a known pair of models skips compilation.
+func (cp *Compiler) Witness(a, b regex.Expr) []regex.Name {
+	key := string(AppendKeys([]byte{opWitness}, a, b))
+	v, _ := cp.c.GetOrCompute(key, func() (any, error) {
+		alpha := unionAlphabet(a, b)
+		da := extendTo(cp.DFA(a), alpha)
+		db := extendTo(cp.DFA(b), alpha)
+		diff := boolOp(da, db, func(x, y bool) bool { return x && !y })
+		if diff.Accept[diff.Start] {
+			return witnessResult{word: []regex.Name{}}, nil
+		}
+		return witnessResult{word: diff.shortestAccepting()}, nil
+	})
+	w := v.(witnessResult).word
+	if w == nil {
+		return nil
+	}
+	// Copy so callers own (and may mutate) their word; the empty witness
+	// must stay non-nil — nil means "contained".
+	return append(make([]regex.Name, 0, len(w)), w...)
+}
+
+// Contains reports L(a) ⊆ L(b), cached.
+func (cp *Compiler) Contains(a, b regex.Expr) bool {
+	// Piggybacks on the witness cache: the answer is "no witness exists".
+	key := string(AppendKeys([]byte{opWitness}, a, b))
+	if v, ok := cp.c.Get(key); ok {
+		return v.(witnessResult).word == nil
+	}
+	return cp.Witness(a, b) == nil
+}
+
+// Equivalent reports L(a) = L(b), cached under an order-normalized key so
+// Equivalent(a, b) and Equivalent(b, a) share one entry.
+func (cp *Compiler) Equivalent(a, b regex.Expr) bool {
+	ka, kb := regex.Key(a), regex.Key(b)
+	if ka == kb {
+		return true // identical trees denote identical languages
+	}
+	if kb < ka {
+		ka, kb = kb, ka
+		a, b = b, a
+	}
+	key := string(opEquiv) + ka + kb
+	v, _ := cp.c.GetOrCompute(key, func() (any, error) {
+		return cp.Contains(a, b) && cp.Contains(b, a), nil
+	})
+	return v.(bool)
+}
+
+// IsEmpty reports L(e) = ∅ using the cached DFA (the emptiness walk on a
+// minimized automaton is O(states)).
+func (cp *Compiler) IsEmpty(e regex.Expr) bool {
+	return cp.DFA(e).IsEmpty()
+}
+
+// Match reports word ∈ L(e) using the cached DFA.
+func (cp *Compiler) Match(e regex.Expr, word []regex.Name) bool {
+	return cp.DFA(e).Match(word)
+}
+
+// AppendKeys appends the raw regex.Key bytecodes of the expressions to dst.
+// The bytecode is a prefix code, so the concatenation is injective.
+func AppendKeys(dst []byte, exprs ...regex.Expr) []byte {
+	for _, e := range exprs {
+		dst = regex.AppendKey(dst, e)
+	}
+	return dst
+}
+
+// extendTo embeds d into a (deduplicated) superset alphabet: transitions on
+// names unknown to d go to a fresh dead state. When the alphabets coincide
+// the original DFA is returned unchanged. The result accepts exactly L(d).
+func extendTo(d *DFA, alphabet []regex.Name) *DFA {
+	idx := make(map[regex.Name]int, len(alphabet))
+	alpha := make([]regex.Name, 0, len(alphabet))
+	for _, n := range alphabet {
+		if _, dup := idx[n]; !dup {
+			idx[n] = len(alpha)
+			alpha = append(alpha, n)
+		}
+	}
+	if len(alpha) == len(d.Alphabet) {
+		same := true
+		for i := range alpha {
+			if alpha[i] != d.Alphabet[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return d
+		}
+	}
+	for _, n := range d.Alphabet {
+		if _, ok := idx[n]; !ok {
+			panic(fmt.Sprintf("automata: extension alphabet misses name %s", n))
+		}
+	}
+	n := len(d.Trans)
+	dead := n
+	out := &DFA{
+		Alphabet: alpha,
+		index:    idx,
+		Start:    d.Start,
+		Trans:    make([][]int, n+1),
+		Accept:   make([]bool, n+1),
+	}
+	copy(out.Accept, d.Accept)
+	cols := make([]int, len(alpha)) // alpha index -> column in d, or -1
+	for ai, nm := range alpha {
+		if si, ok := d.index[nm]; ok {
+			cols[ai] = si
+		} else {
+			cols[ai] = -1
+		}
+	}
+	for s := 0; s < n; s++ {
+		row := make([]int, len(alpha))
+		for ai, col := range cols {
+			if col >= 0 {
+				row[ai] = d.Trans[s][col]
+			} else {
+				row[ai] = dead
+			}
+		}
+		out.Trans[s] = row
+	}
+	deadRow := make([]int, len(alpha))
+	for i := range deadRow {
+		deadRow[i] = dead
+	}
+	out.Trans[dead] = deadRow
+	return out
+}

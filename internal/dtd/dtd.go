@@ -55,8 +55,6 @@ type DTD struct {
 
 	// order preserves declaration order for deterministic serialization.
 	order []string
-	// dfas caches compiled content models for repeated validation.
-	dfas map[string]*automata.DFA
 }
 
 // New returns an empty DTD with the given document type.
@@ -70,7 +68,6 @@ func (d *DTD) Declare(name string, t Type) {
 		d.order = append(d.order, name)
 	}
 	d.Types[name] = t
-	d.dfas = nil
 }
 
 // Names returns the declared names in declaration order. Mutating the
@@ -113,17 +110,13 @@ func (d *DTD) String() string {
 	return b.String()
 }
 
-// dfa returns the compiled automaton for name's content model.
+// dfa returns the compiled automaton for name's content model, backed by
+// the process-wide compiled-automata cache. Unlike the per-DTD map it
+// replaced, the shared cache is concurrency-safe, so concurrent validation
+// against the same DTD value needs no cloning; it also survives Declare
+// (keys are content models, not names).
 func (d *DTD) dfa(name string) *automata.DFA {
-	if d.dfas == nil {
-		d.dfas = map[string]*automata.DFA{}
-	}
-	if a, ok := d.dfas[name]; ok {
-		return a
-	}
-	a := automata.FromExpr(d.Types[name].Model)
-	d.dfas[name] = a
-	return a
+	return automata.Compiled(d.Types[name].Model)
 }
 
 // ValidationError reports why an element fails Definition 2.3.

@@ -212,6 +212,91 @@ func TestFuzzValidClassification(t *testing.T) {
 	}
 }
 
+// regressionModels are content-model shapes that have historically been
+// risky for the expression-to-automaton pipeline the cache now sits under:
+// deep nesting (key framing and recursion depth), duplicate names (Glushkov
+// position bookkeeping), dead branches built from raw empty alternations
+// (Alt{} = FAIL must vanish without dragging live branches along), and
+// stars over nullable bodies (minimization around the empty word).
+func regressionModels() []regex.Expr {
+	a, b := regex.Nm("mid"), regex.Nm("leaf")
+	deep := a
+	for i := 0; i < 12; i++ {
+		deep = regex.Concat{Items: []regex.Expr{deep}}
+	}
+	emptyAlt := regex.Alt{} // zero alternatives: the empty language
+	return []regex.Expr{
+		deep,
+		regex.Star{Sub: regex.Star{Sub: regex.Star{Sub: a}}},
+		regex.Concat{Items: []regex.Expr{a, a, regex.Opt{Sub: a}, regex.Star{Sub: a}, regex.Plus{Sub: a}}},
+		regex.Alt{Items: []regex.Expr{a, a, a}},
+		regex.Or(regex.Cat(a, b), emptyAlt),
+		regex.Cat(regex.Or(emptyAlt, a), regex.Maybe(regex.Or(b, emptyAlt))),
+		regex.Star{Sub: regex.Concat{Items: []regex.Expr{regex.Opt{Sub: a}, regex.Opt{Sub: b}}}},
+		regex.Cat(regex.Or(regex.Cat(a, b), regex.Cat(a, b)), regex.Maybe(a)),
+	}
+}
+
+// TestRegressionModelInference runs full inference over DTDs whose root
+// content models are the regression shapes above and cross-checks the
+// result the same way the random fuzz does: inferred schemas are
+// consistent, and every sampled view satisfies them. It pins the corner
+// cases the random generator only occasionally reaches.
+func TestRegressionModelInference(t *testing.T) {
+	q := &xmas.Query{Name: "regview", PickVar: "P", Root: &xmas.Cond{
+		Names: []string{"root"},
+		Children: []*xmas.Cond{{
+			Names: []string{"mid"},
+			Var:   "P",
+			Children: []*xmas.Cond{{
+				Names: []string{"leaf"},
+			}},
+		}},
+	}}
+	if errs := q.Validate(); len(errs) > 0 {
+		t.Fatalf("query invalid: %v", errs)
+	}
+	for mi, model := range regressionModels() {
+		d := dtd.New("root")
+		d.Declare("root", dtd.M(model))
+		d.Declare("mid", dtd.M(regex.Rep(regex.Nm("leaf"))))
+		d.Declare("leaf", dtd.PC())
+		if errs := d.Check(); len(errs) > 0 {
+			t.Fatalf("model %d: DTD inconsistent: %v", mi, errs)
+		}
+		res, err := Infer(q, d)
+		if err != nil {
+			t.Fatalf("model %d: Infer: %v", mi, err)
+		}
+		if errs := res.SDTD.Check(); len(errs) > 0 {
+			t.Fatalf("model %d: inferred s-DTD inconsistent: %v\n%s", mi, errs, res.SDTD)
+		}
+		if errs := res.DTD.Check(); len(errs) > 0 {
+			t.Fatalf("model %d: inferred DTD inconsistent: %v\n%s", mi, errs, res.DTD)
+		}
+		g, err := gen.New(d, gen.Options{Seed: int64(mi), AssignIDs: true, MaxDepth: 8})
+		if err != nil {
+			continue // unrealizable root (dead models make this legitimate)
+		}
+		for i := 0; i < 16; i++ {
+			doc := g.Document()
+			view, err := engine.Eval(q, doc)
+			if err != nil {
+				t.Fatalf("model %d: eval: %v", mi, err)
+			}
+			if res.Class == Unsatisfiable && len(view.Root.Children) > 0 {
+				t.Fatalf("model %d: classified unsatisfiable but view non-empty\n%s", mi, d)
+			}
+			if err := res.DTD.Validate(view); err != nil {
+				t.Fatalf("model %d doc %d: view DTD unsound: %v\nsource:\n%s\ninferred:\n%s", mi, i, err, doc.Root, res.DTD)
+			}
+			if err := res.SDTD.Satisfies(view); err != nil {
+				t.Fatalf("model %d doc %d: view s-DTD unsound: %v\nsource:\n%s\ninferred:\n%s", mi, i, err, doc.Root, res.SDTD)
+			}
+		}
+	}
+}
+
 // TestFuzzSimplifyEquivalence: the DTD-based query simplifier must never
 // change answers, for random queries and random documents.
 func TestFuzzSimplifyEquivalence(t *testing.T) {

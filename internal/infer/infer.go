@@ -1,10 +1,14 @@
 package infer
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/automata"
 	"repro/internal/dtd"
@@ -80,6 +84,7 @@ type spec struct {
 }
 
 type inferencer struct {
+	ctx     context.Context
 	src     *dtd.DTD
 	q       *xmas.Query
 	nextTag map[string]int
@@ -92,6 +97,15 @@ type inferencer struct {
 // queries; an unsatisfiable (empty) view is not an error — the result's
 // Class says so and the DTD describes the empty view document.
 func Infer(q *xmas.Query, src *dtd.DTD) (*Result, error) {
+	return InferContext(context.Background(), q, src)
+}
+
+// InferContext is Infer with cancellation: the per-name refinement fan-out
+// (the hot loop of the tightening pass, which compiles and checks automata
+// for every element name a condition can match) runs on up to GOMAXPROCS
+// goroutines and stops early when the context is cancelled, in which case
+// the context's error is returned.
+func InferContext(ctx context.Context, q *xmas.Query, src *dtd.DTD) (*Result, error) {
 	if errs := q.Validate(); len(errs) > 0 {
 		return nil, fmt.Errorf("infer: invalid query: %v", errs[0])
 	}
@@ -105,6 +119,7 @@ func Infer(q *xmas.Query, src *dtd.DTD) (*Result, error) {
 		return nil, fmt.Errorf("infer: view name %q collides with a source element name", q.Name)
 	}
 	in := &inferencer{
+		ctx:     ctx,
 		src:     src,
 		q:       q,
 		nextTag: map[string]int{},
@@ -118,12 +133,20 @@ func Infer(q *xmas.Query, src *dtd.DTD) (*Result, error) {
 	// Result-list type inference (Section 4.4) yields the content model of
 	// the view's top element over the pick specializations.
 	listType := in.inferList(path)
+	if err := ctx.Err(); err != nil {
+		// Cancelled mid-fan-out: specs may be half-computed; bail before
+		// assembling anything from them.
+		return nil, err
+	}
 
 	// Assemble the specialized view DTD.
 	view := sdtd.New(regex.N(q.Name))
 	view.Declare(regex.N(q.Name), dtd.M(automata.Reduce(listType)))
 	pick := path[len(path)-1]
 	in.declareSubtree(view, pick)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	in.pull(view)
 	pruneUnreachable(view)
 	view = view.Normalize()
@@ -216,63 +239,115 @@ func (in *inferencer) refineWith(c *xmas.Cond, children []*xmas.Cond) map[string
 		sels = append(sels, cs)
 	}
 
-	for _, n := range in.effNames(c) {
-		srcType := in.src.Types[n]
-		sp := &spec{name: in.allocTag(n)}
-		switch {
-		case c.HasText:
-			// A string condition needs PCDATA content; the DTD cannot
-			// guarantee the particular string, so it is never valid.
-			if srcType.PCDATA {
-				sp.typ = dtd.PC()
-				sp.class = Satisfiable
-			} else {
-				sp.class = Unsatisfiable
-			}
-		case len(children) == 0:
-			// Pure existence of the name: the type is untouched and, given
-			// an element of this name exists, the condition always holds.
-			sp.typ = srcType
-			sp.class = Valid
-		case srcType.PCDATA:
-			// Subconditions can never match inside character content.
+	// Tag allocation is serial and in name order, so the minted tags — and
+	// with them the entire inferred s-DTD — stay deterministic regardless
+	// of how the refinement work below is scheduled.
+	names := in.effNames(c)
+	for _, n := range names {
+		out[n] = &spec{name: in.allocTag(n)}
+	}
+	// The per-name refinements are independent (they read only the source
+	// DTD and the shared sels) and each one compiles and checks automata,
+	// so they fan out across goroutines.
+	in.fanOut(len(names), func(i int) {
+		in.computeSpec(c, children, sels, names[i], out[names[i]])
+	})
+	return out
+}
+
+// computeSpec fills in the type and classification of one name's
+// specialization (the body of Figure 2's per-name loop). It must stay free
+// of inferencer mutation: refineWith runs it concurrently for the names of
+// one condition.
+func (in *inferencer) computeSpec(c *xmas.Cond, children []*xmas.Cond, sels []childSel, n string, sp *spec) {
+	srcType := in.src.Types[n]
+	switch {
+	case c.HasText:
+		// A string condition needs PCDATA content; the DTD cannot
+		// guarantee the particular string, so it is never valid.
+		if srcType.PCDATA {
+			sp.typ = dtd.PC()
+			sp.class = Satisfiable
+		} else {
 			sp.class = Unsatisfiable
-		default:
-			t := srcType.Model
-			class := Valid
-			for _, cs := range sels {
-				if cs.class == Unsatisfiable {
-					t = regex.Bot()
-					break
-				}
-				t = automata.Reduce(Refine(t, cs.sel))
-				if regex.IsFail(t) {
-					break
-				}
-				if cs.class != Valid {
-					class = Satisfiable
-				}
-			}
-			if regex.IsFail(t) {
-				sp.class = Unsatisfiable
+		}
+	case len(children) == 0:
+		// Pure existence of the name: the type is untouched and, given
+		// an element of this name exists, the condition always holds.
+		sp.typ = srcType
+		sp.class = Valid
+	case srcType.PCDATA:
+		// Subconditions can never match inside character content.
+		sp.class = Unsatisfiable
+	default:
+		t := srcType.Model
+		class := Valid
+		for _, cs := range sels {
+			if cs.class == Unsatisfiable {
+				t = regex.Bot()
 				break
 			}
-			// Valid iff the refinement did not shrink the image language:
-			// "if the refinement included an elimination of a disjunct or a
-			// refinement of a star expression, indicate that the condition
-			// is not satisfied by all instances" (Figure 2).
-			if class == Valid && !refinementIsValid(srcType.Model, sels) {
+			t = automata.Reduce(Refine(t, cs.sel))
+			if regex.IsFail(t) {
+				break
+			}
+			if cs.class != Valid {
 				class = Satisfiable
 			}
-			sp.typ = dtd.M(t)
-			sp.class = class
 		}
-		if sp.class == Unsatisfiable {
-			sp.typ = dtd.M(regex.Bot())
+		if regex.IsFail(t) {
+			sp.class = Unsatisfiable
+			break
 		}
-		out[n] = sp
+		// Valid iff the refinement did not shrink the image language:
+		// "if the refinement included an elimination of a disjunct or a
+		// refinement of a star expression, indicate that the condition
+		// is not satisfied by all instances" (Figure 2).
+		if class == Valid && !refinementIsValid(srcType.Model, sels) {
+			class = Satisfiable
+		}
+		sp.typ = dtd.M(t)
+		sp.class = class
 	}
-	return out
+	if sp.class == Unsatisfiable {
+		sp.typ = dtd.M(regex.Bot())
+	}
+}
+
+// fanOut runs f(0..n-1) on up to GOMAXPROCS goroutines, stopping early
+// (without starting new items) when the inferencer's context is cancelled.
+// With a single processor — or a single item — it degrades to the plain
+// serial loop, paying no goroutine overhead.
+func (in *inferencer) fanOut(n int, f func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if in.ctx.Err() != nil {
+				return
+			}
+			f(i)
+		}
+		return
+	}
+	var next int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= n || in.ctx.Err() != nil {
+					return
+				}
+				f(i)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // refinementIsValid decides whether every word of the model admits an
@@ -352,7 +427,7 @@ func refinementIsValid(model regex.Expr, sels []childSel) bool {
 // atLeastOccurrences reports whether every word of L(model) contains at
 // least k positions whose (untagged) name lies in bases.
 func atLeastOccurrences(model regex.Expr, bases map[string]bool, k int) bool {
-	d := automata.FromExpr(model)
+	d := automata.Compiled(model)
 	counting := make([]bool, len(d.Alphabet))
 	for ai, n := range d.Alphabet {
 		counting[ai] = n.Tag == 0 && bases[n.Base]

@@ -1,6 +1,7 @@
 package infer
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/automata"
@@ -52,7 +53,7 @@ func SimplifyQuery(q *xmas.Query, src *dtd.DTD) (*xmas.Query, *SimplifyReport, e
 		rep.Class = Satisfiable
 		return out, rep, nil
 	}
-	in := &inferencer{src: src, q: q, nextTag: map[string]int{}, full: map[*xmas.Cond]map[string]*spec{}}
+	in := &inferencer{ctx: context.Background(), src: src, q: q, nextTag: map[string]int{}, full: map[*xmas.Cond]map[string]*spec{}}
 	rep.Class = in.queryClass()
 	if rep.Class == Unsatisfiable {
 		return out, rep, nil

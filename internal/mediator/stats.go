@@ -3,6 +3,9 @@ package mediator
 import (
 	"sync"
 	"time"
+
+	"repro/internal/automata"
+	"repro/internal/automata/cache"
 )
 
 // ViewStats is the per-view slice of a Stats snapshot.
@@ -42,6 +45,12 @@ type Stats struct {
 	// Retries sums the transient-failure retries of all registered
 	// wrappers that expose a RetryCounter (HTTPSource).
 	Retries int64 `json:"retries"`
+
+	// AutomataCache snapshots the process-wide compiled-automata cache
+	// (internal/automata/cache) that backs every content-model compilation
+	// and language decision: DFA compilations for validation, containment
+	// and equivalence checks during inference and tightness analysis.
+	AutomataCache cache.Stats `json:"automata_cache"`
 
 	// Views holds per-view counters, keyed by view name.
 	Views map[string]ViewStats `json:"views"`
@@ -119,6 +128,7 @@ func (m *Mediator) Stats() Stats {
 		SimplifierDropped:  s.simplifierDropped,
 		SimplifierSkips:    s.simplifierSkips,
 		SimplifierErrors:   s.simplifierErrors,
+		AutomataCache:      automata.CacheStats(),
 		Views:              make(map[string]ViewStats, len(s.views)),
 	}
 	for name, vs := range s.views {

@@ -1,0 +1,70 @@
+package regex
+
+import "encoding/binary"
+
+// Key returns a compact, deterministic, injective serialization of the
+// expression's AST: two expressions have equal keys iff they are the same
+// tree (same node kinds, same children in the same order, same names and
+// tags). It exists for exactly one purpose — keying caches of compiled
+// automata — and is therefore built for speed over readability: a preorder
+// bytecode with varint-framed operands, no parenthesization logic, and a
+// single allocation for the final string.
+//
+// Key is syntactic. Language-equivalent expressions with different trees
+// (e.g. "a|b" vs "b|a") have different keys; callers that want a canonical
+// key apply Simplify first, which normalizes the cheap algebraic identities
+// while preserving the language (the automata package's compiled-DFA cache
+// does exactly this).
+func Key(e Expr) string {
+	return string(AppendKey(make([]byte, 0, 64), e))
+}
+
+// Bytecode opcodes for AppendKey. Distinct from any varint prefix ambiguity
+// because every operand is length- or count-framed.
+const (
+	opEmpty byte = 'e'
+	opFail  byte = 'f'
+	opAtom  byte = 'a'
+	opCat   byte = ','
+	opAlt   byte = '|'
+	opStar  byte = '*'
+	opPlus  byte = '+'
+	opOpt   byte = '?'
+)
+
+// AppendKey appends the Key bytecode of e to dst and returns the extended
+// slice, letting callers amortize the buffer across many encodes.
+func AppendKey(dst []byte, e Expr) []byte {
+	switch v := e.(type) {
+	case Empty:
+		return append(dst, opEmpty)
+	case Fail:
+		return append(dst, opFail)
+	case Atom:
+		dst = append(dst, opAtom)
+		dst = binary.AppendUvarint(dst, uint64(len(v.Name.Base)))
+		dst = append(dst, v.Name.Base...)
+		return binary.AppendUvarint(dst, uint64(v.Name.Tag))
+	case Concat:
+		dst = append(dst, opCat)
+		dst = binary.AppendUvarint(dst, uint64(len(v.Items)))
+		for _, it := range v.Items {
+			dst = AppendKey(dst, it)
+		}
+		return dst
+	case Alt:
+		dst = append(dst, opAlt)
+		dst = binary.AppendUvarint(dst, uint64(len(v.Items)))
+		for _, it := range v.Items {
+			dst = AppendKey(dst, it)
+		}
+		return dst
+	case Star:
+		return AppendKey(append(dst, opStar), v.Sub)
+	case Plus:
+		return AppendKey(append(dst, opPlus), v.Sub)
+	case Opt:
+		return AppendKey(append(dst, opOpt), v.Sub)
+	}
+	panic("regex: unknown node in Key")
+}

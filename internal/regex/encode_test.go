@@ -1,0 +1,140 @@
+package regex
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randKeyExpr(r *rand.Rand, depth int) Expr {
+	if depth <= 0 {
+		switch r.Intn(5) {
+		case 0:
+			return Empty{}
+		case 1:
+			return Fail{}
+		default:
+			bases := []string{"a", "b", "ab", ""}
+			return Atom{Name: Name{Base: bases[r.Intn(len(bases))], Tag: r.Intn(3)}}
+		}
+	}
+	switch r.Intn(8) {
+	case 0:
+		return Atom{Name: Name{Base: "x", Tag: r.Intn(2)}}
+	case 1, 2:
+		items := make([]Expr, r.Intn(4))
+		for i := range items {
+			items[i] = randKeyExpr(r, depth-1)
+		}
+		return Concat{Items: items}
+	case 3, 4:
+		items := make([]Expr, r.Intn(4))
+		for i := range items {
+			items[i] = randKeyExpr(r, depth-1)
+		}
+		return Alt{Items: items}
+	case 5:
+		return Star{Sub: randKeyExpr(r, depth-1)}
+	case 6:
+		return Plus{Sub: randKeyExpr(r, depth-1)}
+	default:
+		return Opt{Sub: randKeyExpr(r, depth-1)}
+	}
+}
+
+// TestKeyInjective: syntactically equal trees share a key; syntactically
+// distinct trees (String disagrees) never collide. String itself is an
+// injective rendering, so it serves as the ground truth for "same tree".
+func TestKeyInjective(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	byKey := map[string]Expr{}
+	for i := 0; i < 3000; i++ {
+		e := randKeyExpr(r, 3)
+		k := Key(e)
+		if prev, ok := byKey[k]; ok {
+			if !Equal(prev, e) {
+				t.Fatalf("key collision: %s vs %s share %q", prev, e, k)
+			}
+			continue
+		}
+		byKey[k] = e
+	}
+	if len(byKey) < 500 {
+		t.Fatalf("generator produced only %d distinct keys; too weak to test injectivity", len(byKey))
+	}
+}
+
+// TestKeyDeterministic: Key is a pure function of the tree.
+func TestKeyDeterministic(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 500; i++ {
+		e := randKeyExpr(r, 4)
+		if Key(e) != Key(e) {
+			t.Fatalf("Key(%s) not deterministic", e)
+		}
+	}
+}
+
+// TestKeyPrefixCode: the bytecode is a prefix code, so concatenating two
+// keys parses unambiguously — distinct (a, b) pairs must yield distinct
+// concatenations. This is what lets the automata compiler key binary
+// operations by plain concatenation.
+func TestKeyPrefixCode(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	type pair struct{ a, b Expr }
+	byCat := map[string]pair{}
+	for i := 0; i < 2000; i++ {
+		p := pair{randKeyExpr(r, 2), randKeyExpr(r, 2)}
+		cat := Key(p.a) + Key(p.b)
+		if prev, ok := byCat[cat]; ok {
+			if !Equal(prev.a, p.a) || !Equal(prev.b, p.b) {
+				t.Fatalf("concatenated-key collision: (%s, %s) vs (%s, %s)", prev.a, prev.b, p.a, p.b)
+			}
+			continue
+		}
+		byCat[cat] = p
+	}
+}
+
+// TestKeyTagAndBaseFraming: the tricky frame boundaries — empty base
+// names, bases that are prefixes of each other, tags that shift the
+// boundary — must stay distinguishable.
+func TestKeyTagAndBaseFraming(t *testing.T) {
+	cases := []Expr{
+		Atom{Name: Name{Base: "", Tag: 0}},
+		Atom{Name: Name{Base: "", Tag: 1}},
+		Atom{Name: Name{Base: "a", Tag: 0}},
+		Atom{Name: Name{Base: "a", Tag: 1}},
+		Atom{Name: Name{Base: "ab", Tag: 0}},
+		Concat{Items: []Expr{Atom{Name: Name{Base: "a"}}, Atom{Name: Name{Base: "b"}}}},
+		Concat{Items: []Expr{Atom{Name: Name{Base: "ab"}}}},
+		Concat{Items: nil},
+		Alt{Items: nil},
+		Empty{},
+		Fail{},
+		Star{Sub: Empty{}},
+		Plus{Sub: Empty{}},
+		Opt{Sub: Empty{}},
+	}
+	seen := map[string]Expr{}
+	for _, e := range cases {
+		k := Key(e)
+		if prev, ok := seen[k]; ok {
+			t.Errorf("distinct shapes %s and %s share key %q", prev, e, k)
+		}
+		seen[k] = e
+	}
+}
+
+// TestAppendKeyMatchesKey: the two entry points must produce identical
+// bytes (AppendKey is the allocation-amortizing form the caches use).
+func TestAppendKeyMatchesKey(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	buf := make([]byte, 0, 256)
+	for i := 0; i < 500; i++ {
+		e := randKeyExpr(r, 3)
+		buf = AppendKey(buf[:0], e)
+		if string(buf) != Key(e) {
+			t.Fatalf("AppendKey and Key disagree on %s", e)
+		}
+	}
+}

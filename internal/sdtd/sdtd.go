@@ -41,7 +41,6 @@ type SDTD struct {
 	Types map[Name]dtd.Type
 
 	order []Name
-	dfas  map[Name]*automata.DFA
 }
 
 // New returns an empty s-DTD with the given document type.
@@ -55,7 +54,6 @@ func (s *SDTD) Declare(n Name, t dtd.Type) {
 		s.order = append(s.order, n)
 	}
 	s.Types[n] = t
-	s.dfas = nil
 }
 
 // Names returns the declared tagged names in declaration order. When the
@@ -140,16 +138,11 @@ func (s *SDTD) Check() []error {
 	return errs
 }
 
+// dfa returns the compiled automaton for n's content model, backed by the
+// process-wide compiled-automata cache (concurrency-safe; shared across
+// s-DTD values with the same models).
 func (s *SDTD) dfa(n Name) *automata.DFA {
-	if s.dfas == nil {
-		s.dfas = map[Name]*automata.DFA{}
-	}
-	if a, ok := s.dfas[n]; ok {
-		return a
-	}
-	a := automata.FromExpr(s.Types[n].Model)
-	s.dfas[n] = a
-	return a
+	return automata.Compiled(s.Types[n].Model)
 }
 
 // MergeEvent records one merge performed by Merge: several specializations

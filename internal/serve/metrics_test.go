@@ -80,6 +80,19 @@ func TestMetricsEndpoint(t *testing.T) {
 	if vs.Materializations != 1 {
 		t.Errorf("materializations = %d, want 1", vs.Materializations)
 	}
+	// The compiled-automata cache is process-wide, so exact counts depend
+	// on test order; but by now view inference has compiled content models
+	// and the queries above re-used them, so the counters must be live.
+	ac := st.AutomataCache
+	if ac.Capacity <= 0 {
+		t.Errorf("automata cache capacity = %d, want > 0", ac.Capacity)
+	}
+	if ac.Misses == 0 {
+		t.Errorf("automata cache misses = 0, want > 0 (inference compiles content models)")
+	}
+	if ac.Size == 0 {
+		t.Errorf("automata cache size = 0, want resident entries")
+	}
 }
 
 // slowSource blocks Fetch on a gate so the test can hold a

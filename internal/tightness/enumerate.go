@@ -1,8 +1,12 @@
 package tightness
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/dtd"
 	"repro/internal/engine"
@@ -17,17 +21,108 @@ import (
 // elements, up to `limit` classes, deterministically ordered. PCDATA values
 // are canonicalized to "s", so each returned document is one class.
 func EnumerateClasses(d *dtd.DTD, maxElems, limit int) []*xmlmodel.Element {
-	e := &enumerator{d: d, minSize: minSizes(d)}
-	if e.minSize[d.Root] < 0 {
-		return nil
-	}
-	return e.trees(d.Root, maxElems, limit)
+	return EnumerateClassesContext(context.Background(), d, maxElems, limit)
 }
 
+// EnumerateClassesContext is EnumerateClasses with cancellation: the
+// per-word subtree combinations at the root — the expensive part of the
+// enumeration — run on up to GOMAXPROCS goroutines, and a cancelled
+// context stops scheduling new words. The result is byte-identical to the
+// serial enumeration: each word's combinations are computed with the full
+// limit and the ordered concatenation is truncated, which yields the same
+// prefix the serial limit-threading would (the enumeration order of
+// combine/trees never depends on the limit — the limit only truncates).
+func EnumerateClassesContext(ctx context.Context, d *dtd.DTD, maxElems, limit int) []*xmlmodel.Element {
+	e := &enumerator{d: d, minSize: minSizes(d)}
+	name := d.Root
+	if limit <= 0 || e.minSize[name] < 0 || e.minSize[name] > maxElems {
+		return nil
+	}
+	t := d.Types[name]
+	if t.PCDATA {
+		return []*xmlmodel.Element{xmlmodel.NewText(name, "s")}
+	}
+	budget := maxElems - 1
+	words := regex.Enumerate(t.Model, budget, limit*8)
+	// Filter out words whose minimal realization cannot fit (cheap, serial),
+	// then fan the per-word combination search out across goroutines. The
+	// enumerator below is read-only, so workers share it safely.
+	type wordJob struct {
+		w    []regex.Name
+		kids [][]*xmlmodel.Element
+	}
+	var jobs []*wordJob
+	for _, w := range words {
+		need := 0
+		ok := true
+		for _, n := range w {
+			m := e.minSize[n.Base]
+			if m < 0 {
+				ok = false
+				break
+			}
+			need += m
+		}
+		if ok && need <= budget {
+			jobs = append(jobs, &wordJob{w: w})
+		}
+	}
+	fanOut(ctx, len(jobs), func(i int) {
+		jobs[i].kids = e.combine(jobs[i].w, budget, limit)
+	})
+	var out []*xmlmodel.Element
+	for _, j := range jobs {
+		for _, kids := range j.kids {
+			out = append(out, xmlmodel.NewElement(name, kids...))
+			if len(out) >= limit {
+				return out
+			}
+		}
+	}
+	return out
+}
+
+// fanOut runs f(0..n-1) on up to GOMAXPROCS goroutines; a cancelled context
+// stops new items from starting. Single-processor (or single-item) runs
+// degrade to a plain serial loop.
+func fanOut(ctx context.Context, n int, f func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				return
+			}
+			f(i)
+		}
+		return
+	}
+	var next int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= n || ctx.Err() != nil {
+					return
+				}
+				f(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// enumerator holds the read-only state of one enumeration; trees and
+// combine never mutate it, so EnumerateClassesContext may call them from
+// several goroutines at once.
 type enumerator struct {
 	d       *dtd.DTD
 	minSize map[string]int
-	memo    map[string][]*xmlmodel.Element
 }
 
 // minSizes computes the minimal number of elements in a tree rooted at each

@@ -90,9 +90,9 @@ func Tighter(d1, d2 *dtd.DTD) (bool, *Witness) {
 			continue
 		}
 		alpha := unionAlpha(t1.Model, t2.Model)
-		a1 := automata.FromExprAlphabet(t1.Model, alpha).
+		a1 := automata.CompiledAlphabet(t1.Model, alpha).
 			RestrictTo(func(m regex.Name) bool { return real1[m.Base] })
-		a2 := automata.FromExprAlphabet(t2.Model, alpha)
+		a2 := automata.CompiledAlphabet(t2.Model, alpha)
 		if !automata.ContainsDFA(a1, a2) {
 			w := witnessWord(a1, a2)
 			return false, &Witness{Name: n, Word: w,
@@ -270,20 +270,14 @@ func CheckSoundness(q *xmas.Query, src *dtd.DTD, viewDTD *dtd.DTD, viewSDTD *sdt
 		next int32
 	)
 	var firstErr error
-	// The s-DTD satisfaction checker caches DFAs internally (not safe for
-	// concurrent use on one instance), so each worker gets its own clone.
+	// DTD/s-DTD validation compiles through the process-wide automata
+	// cache, which is concurrency-safe — all workers share the view
+	// schemas directly (and share their compiled automata with every other
+	// validation in the process).
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			var workerSDTD *sdtd.SDTD
-			if viewSDTD != nil {
-				workerSDTD = viewSDTD.Clone()
-			}
-			var workerDTD *dtd.DTD
-			if viewDTD != nil {
-				workerDTD = viewDTD.Clone()
-			}
 			for {
 				i := int(atomic.AddInt32(&next, 1)) - 1
 				if i >= trials {
@@ -300,11 +294,11 @@ func CheckSoundness(q *xmas.Query, src *dtd.DTD, viewDTD *dtd.DTD, viewSDTD *sdt
 					return
 				}
 				var verr error
-				if workerDTD != nil {
-					verr = workerDTD.Validate(view)
+				if viewDTD != nil {
+					verr = viewDTD.Validate(view)
 				}
-				if verr == nil && workerSDTD != nil {
-					verr = workerSDTD.Satisfies(view)
+				if verr == nil && viewSDTD != nil {
+					verr = viewSDTD.Satisfies(view)
 				}
 				if verr != nil {
 					mu.Lock()

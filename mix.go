@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"repro/internal/automata"
+	"repro/internal/automata/cache"
 	"repro/internal/bench"
 	"repro/internal/browse"
 	"repro/internal/dtd"
@@ -82,6 +83,8 @@ type (
 	ViewPart = mediator.ViewPart
 	// MediatorStats is a snapshot of a mediator's serving counters.
 	MediatorStats = mediator.Stats
+	// AutomataCache is a snapshot of the compiled-automata cache counters.
+	AutomataCache = cache.Stats
 	// HTTPOption configures an HTTP-backed remote source.
 	HTTPOption = mediator.HTTPOption
 	// Generator samples random valid documents from a DTD.
@@ -192,6 +195,17 @@ func WitnessDocument(d1, d2 *DTD) (*Document, error) {
 
 // EquivalentModels reports language equality of two content models.
 func EquivalentModels(a, b Expr) bool { return automata.Equivalent(a, b) }
+
+// AutomataCacheStats snapshots the process-wide compiled-automata cache
+// counters (hits, misses, singleflight dedups, evictions, size): every
+// content-model compilation and language decision — validation,
+// containment, equivalence, inference refinements — is served through it.
+func AutomataCacheStats() AutomataCache { return automata.CacheStats() }
+
+// PurgeAutomataCache drops every cached automaton (counters are kept).
+// Long-running processes can call it after schema churn; benchmarks use it
+// to measure the cold path.
+func PurgeAutomataCache() { automata.PurgeCache() }
 
 // CheckSoundness samples Definition 3.1 with `trials` random source
 // documents.
