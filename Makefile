@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test vet race bench bench-compare experiments cover clean
+.PHONY: all build test vet race fault fuzz check bench bench-compare experiments cover clean
 
 all: build vet test
 
@@ -22,6 +22,31 @@ test:
 race:
 	go vet ./...
 	go test -race ./...
+
+# Robustness battery: fault injection (wire faults, scripted source
+# failures), circuit-breaker state machine, budget degradation, and the
+# panic-isolation fan-out tests, all under -race. These suites exercise
+# scheduling-sensitive paths (singleflight teardown, breaker probes,
+# concurrent fault scripts), so the race detector is mandatory here.
+fault:
+	go test -race -run 'Fault|Breaker|Degrad|FanOut|Panic|Budget' \
+		./internal/mediator/ ./internal/infer/ ./internal/tightness/ \
+		./internal/automata/... ./internal/serve/ ./internal/budget/
+
+# Short, bounded runs of every fuzz target against the parsers. Each
+# target gets FUZZTIME (default 10s); crashes land in testdata/fuzz as
+# usual and should be committed as regression seeds.
+FUZZTIME ?= 10s
+fuzz:
+	go test -run '^$$' -fuzz '^FuzzParseDocument$$' -fuzztime $(FUZZTIME) ./
+	go test -run '^$$' -fuzz '^FuzzParseDTD$$' -fuzztime $(FUZZTIME) ./
+	go test -run '^$$' -fuzz '^FuzzParseQuery$$' -fuzztime $(FUZZTIME) ./
+	go test -run '^$$' -fuzz '^FuzzParseContentModel$$' -fuzztime $(FUZZTIME) ./
+
+# Everything a change should pass before review: tier-1 build/vet/test,
+# the -race robustness battery, and bounded fuzzing of the parsers.
+check: all fault
+	$(MAKE) fuzz FUZZTIME=5s
 
 bench:
 	go test -bench=. -benchmem ./

@@ -22,6 +22,7 @@ import (
 
 	mix "repro"
 	"repro/internal/automata"
+	"repro/internal/budgetflag"
 )
 
 func main() {
@@ -30,6 +31,7 @@ func main() {
 	tighter := flag.Bool("tighter", false, "compare two DTD files given as arguments")
 	outline := flag.Bool("outline", false, "print the DTD (from -dtd) as an annotated structure tree and exit")
 	stats := flag.Bool("stats", false, "print compiled-automata cache counters to stderr on exit")
+	limitsOf := budgetflag.Register(flag.CommandLine)
 	flag.Parse()
 	if *stats {
 		exit = func(code int) { printCacheStats(); os.Exit(code) }
@@ -62,8 +64,24 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		ab, wab := mix.Tighter(a, b)
-		ba, _ := mix.Tighter(b, a)
+		var bud *mix.Budget
+		if limits := limitsOf(); !limits.Unlimited() {
+			// One budget covers the whole comparison (both directions):
+			// tightness is a decision and cannot soundly degrade, so
+			// exhaustion is reported as "undecided" with a distinct exit
+			// status rather than a wrong answer.
+			bud = mix.NewBudget(limits)
+		}
+		ab, wab, err := mix.TighterBudget(a, b, bud)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dtdcheck: undecided within budget:", err)
+			exit(3)
+		}
+		ba, _, err := mix.TighterBudget(b, a, bud)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dtdcheck: undecided within budget:", err)
+			exit(3)
+		}
 		switch {
 		case ab && ba:
 			fmt.Println("equivalent: the DTDs describe the same documents")

@@ -12,13 +12,16 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	mix "repro"
 	"repro/internal/automata"
+	"repro/internal/budgetflag"
 )
 
 func main() {
@@ -28,6 +31,7 @@ func main() {
 	plainOnly := flag.Bool("plain-only", false, "print only the merged plain view DTD")
 	sdtdOnly := flag.Bool("sdtd-only", false, "print only the specialized view DTD")
 	stats := flag.Bool("stats", false, "print compiled-automata cache counters to stderr on exit")
+	limitsOf := budgetflag.Register(flag.CommandLine)
 	flag.Parse()
 	if *dtdPath == "" || *queryPath == "" {
 		fmt.Fprintln(os.Stderr, "mixinfer: -dtd and -query are required")
@@ -46,7 +50,11 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	res, err := mix.Infer(q, src)
+	ctx := context.Background()
+	if limits := limitsOf(); !limits.Unlimited() {
+		ctx = mix.BudgetContext(ctx, mix.NewBudget(limits))
+	}
+	res, err := mix.InferContext(ctx, q, src)
 	if err != nil {
 		fatal(err)
 	}
@@ -59,6 +67,10 @@ func main() {
 		fmt.Println(res.DTD)
 	}
 	fmt.Printf("-- classification: %s\n", res.Class)
+	if res.Degraded {
+		fmt.Printf("-- degraded: %s (sound but not tightest; loose elements: %s)\n",
+			res.DegradedReason, strings.Join(res.DegradedNames, ", "))
+	}
 	for _, ev := range res.Merges {
 		if ev.Distinct {
 			fmt.Printf("-- warning: %s\n", ev)

@@ -34,6 +34,7 @@ import (
 	"time"
 
 	mix "repro"
+	"repro/internal/budgetflag"
 	"repro/internal/mediator"
 	"repro/internal/serve"
 )
@@ -50,6 +51,7 @@ func main() {
 	var sources, views repeated
 	flag.Var(&sources, "source", "source as name=file.xml (repeatable); the file must carry a DOCTYPE internal subset")
 	flag.Var(&views, "view", "view as source:file.xmas (repeatable)")
+	limitsOf := budgetflag.Register(flag.CommandLine)
 	flag.Parse()
 	if len(sources) == 0 {
 		fmt.Fprintln(os.Stderr, "mixserve: at least one -source is required")
@@ -58,6 +60,14 @@ func main() {
 	}
 
 	m := mix.NewMediator(*name)
+	if limits := limitsOf(); !limits.Unlimited() {
+		// Applies to every subsequent view definition and to POST /infer:
+		// inference that exhausts the budget degrades to a sound-but-looser
+		// view DTD instead of stalling startup or a request.
+		m.SetInferenceBudget(limits)
+		log.Printf("inference budget: deadline=%s states=%d classes=%d refine=%d",
+			limits.Deadline, limits.MaxStates, limits.MaxClasses, limits.MaxRefineSteps)
+	}
 	for _, s := range sources {
 		nm, file, ok := strings.Cut(s, "=")
 		if !ok {
@@ -102,6 +112,10 @@ func main() {
 		}
 		log.Printf("view %s over %s: class %s, non-tight merge: %v",
 			view.Name, srcName, view.Class, view.NonTight)
+		if view.Degraded {
+			log.Printf("view %s: DEGRADED (sound but not tightest): %s",
+				view.Name, view.DegradedReason)
+		}
 	}
 
 	var med *mediator.Mediator = m

@@ -21,6 +21,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/budget"
 	"repro/internal/regex"
 )
 
@@ -167,9 +168,29 @@ func FromExpr(e regex.Expr) *DFA {
 	return FromExprAlphabet(e, regex.Names(e))
 }
 
+// FromExprBudget is FromExpr with a resource budget (see
+// FromExprAlphabetBudget).
+func FromExprBudget(e regex.Expr, bud *budget.Budget) (*DFA, error) {
+	return FromExprAlphabetBudget(e, regex.Names(e), bud)
+}
+
 // FromExprAlphabet compiles e over the given alphabet, which must contain
 // every name of e (symbols outside the alphabet cannot be represented).
 func FromExprAlphabet(e regex.Expr, alphabet []regex.Name) *DFA {
+	d, err := FromExprAlphabetBudget(e, alphabet, nil)
+	if err != nil {
+		// Unreachable: a nil budget never exhausts.
+		panic(err)
+	}
+	return d
+}
+
+// FromExprAlphabetBudget is FromExprAlphabet under a resource budget:
+// every subset-construction state charges the budget, so a pathological
+// expression (the paper's exponential-blowup shapes) aborts with the
+// budget's exhaustion error instead of constructing an arbitrarily large
+// automaton. A nil budget never fails.
+func FromExprAlphabetBudget(e regex.Expr, alphabet []regex.Name, bud *budget.Budget) (*DFA, error) {
 	idx := map[regex.Name]int{}
 	alpha := make([]regex.Name, 0, len(alphabet))
 	for _, n := range alphabet {
@@ -190,10 +211,15 @@ func FromExprAlphabet(e regex.Expr, alphabet []regex.Name) *DFA {
 	stateIDs := map[string]int{}
 	var keyer setKeyer
 	var sets []map[int]bool
+	var budErr error
 	newDState := func(set map[int]bool) int {
 		key := keyer.key(set)
 		if id, ok := stateIDs[key]; ok {
 			return id
+		}
+		if err := bud.ChargeStates(1); err != nil {
+			budErr = err
+			return -1
 		}
 		id := len(d.Trans)
 		stateIDs[key] = id
@@ -204,6 +230,9 @@ func FromExprAlphabet(e regex.Expr, alphabet []regex.Name) *DFA {
 	}
 	startSet := m.closure(map[int]bool{start: true})
 	d.Start = newDState(startSet)
+	if budErr != nil {
+		return nil, budErr
+	}
 	for work := []int{d.Start}; len(work) > 0; {
 		cur := work[len(work)-1]
 		work = work[:len(work)-1]
@@ -218,13 +247,16 @@ func FromExprAlphabet(e regex.Expr, alphabet []regex.Name) *DFA {
 			m.closure(next)
 			before := len(d.Trans)
 			id := newDState(next)
+			if budErr != nil {
+				return nil, budErr
+			}
 			d.Trans[cur][ai] = id
 			if id == before { // newly created
 				work = append(work, id)
 			}
 		}
 	}
-	return d
+	return d, nil
 }
 
 // Match reports whether the word is in the DFA's language. Names outside
@@ -290,6 +322,18 @@ func (d *DFA) shortestAccepting() []regex.Name {
 // boolOp combines two DFAs over identical alphabets with a boolean
 // combiner on acceptance (product construction).
 func boolOp(a, b *DFA, f func(bool, bool) bool) *DFA {
+	d, err := boolOpBudget(a, b, f, nil)
+	if err != nil {
+		// Unreachable: a nil budget never exhausts.
+		panic(err)
+	}
+	return d
+}
+
+// boolOpBudget is boolOp under a resource budget: each product state
+// charges, so quadratic-in-theory products that explode in practice stop
+// at the budget instead of exhausting memory.
+func boolOpBudget(a, b *DFA, f func(bool, bool) bool, bud *budget.Budget) (*DFA, error) {
 	if len(a.Alphabet) != len(b.Alphabet) {
 		panic("automata: product over different alphabets")
 	}
@@ -302,9 +346,14 @@ func boolOp(a, b *DFA, f func(bool, bool) bool) *DFA {
 	type pair struct{ x, y int }
 	ids := map[pair]int{}
 	var pairs []pair
+	var budErr error
 	newState := func(p pair) int {
 		if id, ok := ids[p]; ok {
 			return id
+		}
+		if err := bud.ChargeStates(1); err != nil {
+			budErr = err
+			return -1
 		}
 		id := len(out.Trans)
 		ids[p] = id
@@ -314,6 +363,9 @@ func boolOp(a, b *DFA, f func(bool, bool) bool) *DFA {
 		return id
 	}
 	out.Start = newState(pair{a.Start, b.Start})
+	if budErr != nil {
+		return nil, budErr
+	}
 	for work := []int{out.Start}; len(work) > 0; {
 		cur := work[len(work)-1]
 		work = work[:len(work)-1]
@@ -322,13 +374,16 @@ func boolOp(a, b *DFA, f func(bool, bool) bool) *DFA {
 			np := pair{a.Trans[p.x][ai], b.Trans[p.y][ai]}
 			before := len(out.Trans)
 			id := newState(np)
+			if budErr != nil {
+				return nil, budErr
+			}
 			out.Trans[cur][ai] = id
 			if id == before {
 				work = append(work, id)
 			}
 		}
 	}
-	return out
+	return out, nil
 }
 
 // unionAlphabet merges the names of the given expressions, deduplicated.
@@ -414,6 +469,16 @@ func (d *DFA) RestrictTo(allowed func(regex.Name) bool) *DFA {
 func ContainsDFA(a, b *DFA) bool {
 	diff := boolOp(a, b, func(x, y bool) bool { return x && !y })
 	return !diff.Accept[diff.Start] && diff.shortestAccepting() == nil
+}
+
+// ContainsDFABudget is ContainsDFA under a resource budget; the product
+// construction charges per state.
+func ContainsDFABudget(a, b *DFA, bud *budget.Budget) (bool, error) {
+	diff, err := boolOpBudget(a, b, func(x, y bool) bool { return x && !y }, bud)
+	if err != nil {
+		return false, err
+	}
+	return !diff.Accept[diff.Start] && diff.shortestAccepting() == nil, nil
 }
 
 // Minimize returns the Moore-minimized equivalent of d, restricted to

@@ -13,8 +13,15 @@ package cache
 
 import (
 	"container/list"
+	"errors"
 	"sync"
 )
+
+// ErrComputePanic is what waiters of a singleflight computation receive
+// when the computing goroutine panicked: the flight is failed and removed
+// (never cached), the panic propagates in the computing goroutine, and a
+// later GetOrCompute for the same key retries cleanly.
+var ErrComputePanic = errors.New("cache: computation panicked")
 
 // Stats is a point-in-time snapshot of a cache's counters. Hits + Misses +
 // Dedups equals the number of GetOrCompute calls; Misses equals the number
@@ -95,7 +102,9 @@ func (c *Cache) Get(key string) (any, bool) {
 // it on a miss. Concurrent calls for the same key run compute exactly once;
 // the others block and share the result (and its error). Errors are not
 // cached: a failed computation leaves the key absent so a later call
-// retries.
+// retries. A panicking compute cannot poison the key either: the flight is
+// failed with ErrComputePanic for its waiters, removed so future calls
+// retry, and the panic then continues in the computing goroutine.
 func (c *Cache) GetOrCompute(key string, compute func() (any, error)) (any, error) {
 	c.mu.Lock()
 	if el, ok := c.entries[key]; ok {
@@ -117,7 +126,23 @@ func (c *Cache) GetOrCompute(key string, compute func() (any, error)) (any, erro
 	c.inflight[key] = f
 	c.mu.Unlock()
 
+	completed := false
+	defer func() {
+		if completed {
+			return
+		}
+		// compute panicked before returning: unblock the waiters with an
+		// error and drop the flight, then let the panic unwind.
+		f.err = ErrComputePanic
+		f.wg.Done()
+		c.mu.Lock()
+		if c.inflight[key] == f {
+			delete(c.inflight, key)
+		}
+		c.mu.Unlock()
+	}()
 	f.val, f.err = compute()
+	completed = true
 	f.wg.Done()
 
 	c.mu.Lock()

@@ -1,0 +1,131 @@
+package cache
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestPanicFailsWaitersAndPropagates: a panicking compute must (a) unblock
+// every singleflight joiner with ErrComputePanic, (b) re-panic in the
+// computing goroutine, (c) leave the key absent so a later call retries
+// and can succeed.
+func TestPanicFailsWaitersAndPropagates(t *testing.T) {
+	c := New(8)
+	entered := make(chan struct{})
+	release := make(chan struct{})
+
+	leaderPanicked := make(chan any, 1)
+	go func() {
+		defer func() { leaderPanicked <- recover() }()
+		c.GetOrCompute("k", func() (any, error) {
+			close(entered)
+			<-release
+			panic("compile blew up")
+		})
+	}()
+	<-entered
+
+	const joiners = 3
+	var wg sync.WaitGroup
+	errs := make([]error, joiners)
+	for i := 0; i < joiners; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = c.GetOrCompute("k", func() (any, error) {
+				t.Error("joiner must not compute while the leader is in flight")
+				return nil, nil
+			})
+		}(i)
+	}
+	for c.Stats().Dedups < joiners {
+		runtime.Gosched() // until all joiners registered; bounded by the test timeout
+	}
+	close(release)
+	wg.Wait()
+
+	if r := <-leaderPanicked; r != "compile blew up" {
+		t.Fatalf("leader recover() = %v, want the original panic value", r)
+	}
+	for i, err := range errs {
+		if !errors.Is(err, ErrComputePanic) {
+			t.Errorf("joiner %d: err = %v, want ErrComputePanic", i, err)
+		}
+	}
+	if c.Len() != 0 {
+		t.Fatal("panicked computation must not be cached")
+	}
+
+	// The key must be clean: a retry computes and caches normally.
+	v, err := c.GetOrCompute("k", func() (any, error) { return "ok", nil })
+	if err != nil || v != "ok" {
+		t.Fatalf("retry after panic = %v, %v; want ok", v, err)
+	}
+	if _, ok := c.Get("k"); !ok {
+		t.Fatal("successful retry must be cached")
+	}
+}
+
+// TestErrorFailsWaitersNotCached is the error-path twin: a compute that
+// returns an error (budget exhaustion, cancellation) while joiners wait
+// must hand the same error to every joiner, cache nothing, and allow a
+// clean recompute — the cache must never remember a cancelled compile.
+func TestErrorFailsWaitersNotCached(t *testing.T) {
+	c := New(8)
+	exhausted := errors.New("budget exhausted mid-compile")
+	entered := make(chan struct{})
+	release := make(chan struct{})
+
+	var leaderErr error
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, leaderErr = c.GetOrCompute("k", func() (any, error) {
+			close(entered)
+			<-release
+			return nil, exhausted
+		})
+	}()
+	<-entered
+
+	const joiners = 3
+	var wg sync.WaitGroup
+	var wrong int32
+	for i := 0; i < joiners; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := c.GetOrCompute("k", func() (any, error) { return "fresh", nil })
+			// A joiner either shares the leader's failure or — having
+			// arrived after the flight was torn down — recomputes cleanly.
+			if err != nil && !errors.Is(err, exhausted) {
+				atomic.AddInt32(&wrong, 1)
+			}
+		}()
+	}
+	for c.Stats().Dedups < joiners {
+		runtime.Gosched()
+	}
+	close(release)
+	wg.Wait()
+	<-done
+
+	if !errors.Is(leaderErr, exhausted) {
+		t.Fatalf("leader err = %v, want the exhaustion error", leaderErr)
+	}
+	if wrong != 0 {
+		t.Fatalf("%d joiners saw an unrelated error", wrong)
+	}
+
+	// Nothing may be resident unless a post-teardown joiner recomputed.
+	if v, ok := c.Get("k"); ok && v != "fresh" {
+		t.Fatalf("cached value %v can only come from a clean recompute", v)
+	}
+	v, err := c.GetOrCompute("k", func() (any, error) { return "fresh", nil })
+	if err != nil || v != "fresh" {
+		t.Fatalf("retry after failure = %v, %v; want fresh", v, err)
+	}
+}

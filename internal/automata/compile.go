@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/automata/cache"
+	"repro/internal/budget"
 	"repro/internal/regex"
 )
 
@@ -70,6 +71,29 @@ func ResetCacheStats() { defaultCompiler.c.ResetStats() }
 // goroutine — is a lookup.
 func Compiled(e regex.Expr) *DFA { return defaultCompiler.DFA(e) }
 
+// CompiledBudget is Compiled under a resource budget: a cached DFA is
+// returned for free, a cold compile charges the budget and fails with its
+// exhaustion error instead of completing a blowup. Failed compiles are
+// never cached, so a later call with a fresh budget recomputes cleanly.
+func CompiledBudget(e regex.Expr, bud *budget.Budget) (*DFA, error) {
+	return defaultCompiler.DFABudget(e, bud)
+}
+
+// CompiledAlphabetBudget is CompiledAlphabet under a resource budget.
+func CompiledAlphabetBudget(e regex.Expr, alphabet []regex.Name, bud *budget.Budget) (*DFA, error) {
+	return defaultCompiler.DFAAlphabetBudget(e, alphabet, bud)
+}
+
+// ContainsBudget is Contains under a resource budget.
+func ContainsBudget(a, b regex.Expr, bud *budget.Budget) (bool, error) {
+	return defaultCompiler.ContainsBudget(a, b, bud)
+}
+
+// EquivalentBudget is Equivalent under a resource budget.
+func EquivalentBudget(a, b regex.Expr, bud *budget.Budget) (bool, error) {
+	return defaultCompiler.EquivalentBudget(a, b, bud)
+}
+
 // CompiledAlphabet returns the cached DFA for e extended to the given
 // alphabet (which must contain every name of e). The expensive part —
 // Thompson construction, subset construction, minimization — is cached
@@ -87,17 +111,50 @@ func (cp *Compiler) Purge() { cp.c.Purge() }
 // DFA returns the minimized DFA of e, compiling it at most once per
 // canonical (simplified) form.
 func (cp *Compiler) DFA(e regex.Expr) *DFA {
+	d, err := cp.DFABudget(e, nil)
+	if err != nil {
+		// Unreachable: a nil budget never exhausts.
+		panic(err)
+	}
+	return d
+}
+
+// DFABudget is DFA under a resource budget. Cache hits cost nothing; a
+// cold compile charges per subset-construction state. On exhaustion the
+// error propagates to every singleflight waiter and nothing is cached —
+// the key stays absent so a later call (with a fresh budget) retries.
+// Waiters that joined the flight share the leader's budget outcome; that
+// asymmetry is inherent to deduplicated computation and resolves on
+// retry.
+func (cp *Compiler) DFABudget(e regex.Expr, bud *budget.Budget) (*DFA, error) {
 	canon := regex.Simplify(e)
 	key := string(opDFA) + regex.Key(canon)
-	v, _ := cp.c.GetOrCompute(key, func() (any, error) {
-		return FromExpr(canon).Minimize(), nil
+	v, err := cp.c.GetOrCompute(key, func() (any, error) {
+		d, err := FromExprBudget(canon, bud)
+		if err != nil {
+			return nil, err
+		}
+		return d.Minimize(), nil
 	})
-	return v.(*DFA)
+	if err != nil {
+		return nil, err
+	}
+	return v.(*DFA), nil
 }
 
 // DFAAlphabet is DFA extended to a larger alphabet (see CompiledAlphabet).
 func (cp *Compiler) DFAAlphabet(e regex.Expr, alphabet []regex.Name) *DFA {
 	return extendTo(cp.DFA(e), alphabet)
+}
+
+// DFAAlphabetBudget is DFAAlphabet under a resource budget (the alphabet
+// extension itself is linear and uncharged).
+func (cp *Compiler) DFAAlphabetBudget(e regex.Expr, alphabet []regex.Name, bud *budget.Budget) (*DFA, error) {
+	d, err := cp.DFABudget(e, bud)
+	if err != nil {
+		return nil, err
+	}
+	return extendTo(d, alphabet), nil
 }
 
 // Key namespaces within the shared LRU.
@@ -116,24 +173,48 @@ type witnessResult struct{ word []regex.Name }
 // (a, b) key; the underlying DFAs are cached per canonical form, so even a
 // cold witness for a known pair of models skips compilation.
 func (cp *Compiler) Witness(a, b regex.Expr) []regex.Name {
+	w, err := cp.WitnessBudget(a, b, nil)
+	if err != nil {
+		// Unreachable: a nil budget never exhausts.
+		panic(err)
+	}
+	return w
+}
+
+// WitnessBudget is Witness under a resource budget: the two compilations
+// and the difference product all charge.
+func (cp *Compiler) WitnessBudget(a, b regex.Expr, bud *budget.Budget) ([]regex.Name, error) {
 	key := string(AppendKeys([]byte{opWitness}, a, b))
-	v, _ := cp.c.GetOrCompute(key, func() (any, error) {
+	v, err := cp.c.GetOrCompute(key, func() (any, error) {
 		alpha := unionAlphabet(a, b)
-		da := extendTo(cp.DFA(a), alpha)
-		db := extendTo(cp.DFA(b), alpha)
-		diff := boolOp(da, db, func(x, y bool) bool { return x && !y })
+		da, err := cp.DFABudget(a, bud)
+		if err != nil {
+			return nil, err
+		}
+		db, err := cp.DFABudget(b, bud)
+		if err != nil {
+			return nil, err
+		}
+		diff, err := boolOpBudget(extendTo(da, alpha), extendTo(db, alpha),
+			func(x, y bool) bool { return x && !y }, bud)
+		if err != nil {
+			return nil, err
+		}
 		if diff.Accept[diff.Start] {
 			return witnessResult{word: []regex.Name{}}, nil
 		}
 		return witnessResult{word: diff.shortestAccepting()}, nil
 	})
+	if err != nil {
+		return nil, err
+	}
 	w := v.(witnessResult).word
 	if w == nil {
-		return nil
+		return nil, nil
 	}
 	// Copy so callers own (and may mutate) their word; the empty witness
 	// must stay non-nil — nil means "contained".
-	return append(make([]regex.Name, 0, len(w)), w...)
+	return append(make([]regex.Name, 0, len(w)), w...), nil
 }
 
 // Contains reports L(a) ⊆ L(b), cached.
@@ -146,22 +227,52 @@ func (cp *Compiler) Contains(a, b regex.Expr) bool {
 	return cp.Witness(a, b) == nil
 }
 
+// ContainsBudget is Contains under a resource budget.
+func (cp *Compiler) ContainsBudget(a, b regex.Expr, bud *budget.Budget) (bool, error) {
+	key := string(AppendKeys([]byte{opWitness}, a, b))
+	if v, ok := cp.c.Get(key); ok {
+		return v.(witnessResult).word == nil, nil
+	}
+	w, err := cp.WitnessBudget(a, b, bud)
+	if err != nil {
+		return false, err
+	}
+	return w == nil, nil
+}
+
 // Equivalent reports L(a) = L(b), cached under an order-normalized key so
 // Equivalent(a, b) and Equivalent(b, a) share one entry.
 func (cp *Compiler) Equivalent(a, b regex.Expr) bool {
+	eq, err := cp.EquivalentBudget(a, b, nil)
+	if err != nil {
+		// Unreachable: a nil budget never exhausts.
+		panic(err)
+	}
+	return eq
+}
+
+// EquivalentBudget is Equivalent under a resource budget.
+func (cp *Compiler) EquivalentBudget(a, b regex.Expr, bud *budget.Budget) (bool, error) {
 	ka, kb := regex.Key(a), regex.Key(b)
 	if ka == kb {
-		return true // identical trees denote identical languages
+		return true, nil // identical trees denote identical languages
 	}
 	if kb < ka {
 		ka, kb = kb, ka
 		a, b = b, a
 	}
 	key := string(opEquiv) + ka + kb
-	v, _ := cp.c.GetOrCompute(key, func() (any, error) {
-		return cp.Contains(a, b) && cp.Contains(b, a), nil
+	v, err := cp.c.GetOrCompute(key, func() (any, error) {
+		ab, err := cp.ContainsBudget(a, b, bud)
+		if err != nil || !ab {
+			return false, err
+		}
+		return cp.ContainsBudget(b, a, bud)
 	})
-	return v.(bool)
+	if err != nil {
+		return false, err
+	}
+	return v.(bool), nil
 }
 
 // IsEmpty reports L(e) = ∅ using the cached DFA (the emptiness walk on a

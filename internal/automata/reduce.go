@@ -3,6 +3,7 @@ package automata
 import (
 	"fmt"
 
+	"repro/internal/budget"
 	"repro/internal/regex"
 )
 
@@ -25,13 +26,40 @@ import (
 // would make the pairwise pass quadratic in automata constructions, so
 // Reduce degrades to the syntactic simplifier beyond a size threshold.
 func Reduce(e regex.Expr) regex.Expr {
+	return ReduceBudget(e, nil)
+}
+
+// ReduceBudget is Reduce under a resource budget. Reduction is purely an
+// optimization — its output is language-equivalent to its input — so
+// budget exhaustion never errors: it falls back to the syntactic
+// simplification, exactly as the size limit does. The budget is charged
+// by the containment checks of the absorption pass and by the final
+// equivalence verification, which are where semantic reduction compiles
+// automata.
+func ReduceBudget(e regex.Expr, bud *budget.Budget) regex.Expr {
+	if bud.Err() != nil {
+		// Already exhausted: even the syntactic simplifier is too much work
+		// for an expression we only keep because degradation is loose — the
+		// input is returned as-is (equivalent, just less pretty).
+		return e
+	}
 	simplified := regex.Simplify(e)
 	if regex.Size(simplified) > reduceSizeLimit {
 		return simplified
 	}
-	out := regex.Simplify(reduce(simplified))
-	if !Equivalent(out, e) {
-		// Defensive: never trade correctness for brevity.
+	if bud.Err() != nil {
+		// Already exhausted: stay on the syntactic path.
+		return simplified
+	}
+	reduced, err := reduce(simplified, bud)
+	if err != nil {
+		return simplified
+	}
+	out := regex.Simplify(reduced)
+	eq, err := EquivalentBudget(out, e, bud)
+	if err != nil || !eq {
+		// Defensive: never trade correctness for brevity (and never let a
+		// half-checked rewrite through on exhaustion).
 		return simplified
 	}
 	return out
@@ -41,35 +69,58 @@ func Reduce(e regex.Expr) regex.Expr {
 // on; larger inputs get only syntactic simplification.
 const reduceSizeLimit = 512
 
-func reduce(e regex.Expr) regex.Expr {
+func reduce(e regex.Expr, bud *budget.Budget) (regex.Expr, error) {
 	switch v := e.(type) {
 	case regex.Empty, regex.Fail, regex.Atom:
-		return e
+		return e, nil
 	case regex.Star:
-		return regex.Rep(reduce(v.Sub))
+		s, err := reduce(v.Sub, bud)
+		if err != nil {
+			return nil, err
+		}
+		return regex.Rep(s), nil
 	case regex.Plus:
-		return regex.Rep1(reduce(v.Sub))
+		s, err := reduce(v.Sub, bud)
+		if err != nil {
+			return nil, err
+		}
+		return regex.Rep1(s), nil
 	case regex.Opt:
-		return regex.Maybe(reduce(v.Sub))
+		s, err := reduce(v.Sub, bud)
+		if err != nil {
+			return nil, err
+		}
+		return regex.Maybe(s), nil
 	case regex.Concat:
 		items := make([]regex.Expr, len(v.Items))
 		for i, it := range v.Items {
-			items[i] = reduce(it)
+			s, err := reduce(it, bud)
+			if err != nil {
+				return nil, err
+			}
+			items[i] = s
 		}
-		return regex.Cat(items...)
+		return regex.Cat(items...), nil
 	case regex.Alt:
 		items := make([]regex.Expr, len(v.Items))
 		for i, it := range v.Items {
-			items[i] = reduce(it)
+			s, err := reduce(it, bud)
+			if err != nil {
+				return nil, err
+			}
+			items[i] = s
 		}
-		items = absorb(items)
-		return regex.Or(items...)
+		items, err := absorb(items, bud)
+		if err != nil {
+			return nil, err
+		}
+		return regex.Or(items...), nil
 	}
 	panic(fmt.Sprintf("automata: unknown node %T", e))
 }
 
 // absorb drops alternatives whose language is contained in another's.
-func absorb(items []regex.Expr) []regex.Expr {
+func absorb(items []regex.Expr, bud *budget.Budget) ([]regex.Expr, error) {
 	keep := make([]bool, len(items))
 	for i := range keep {
 		keep[i] = true
@@ -82,7 +133,11 @@ func absorb(items []regex.Expr) []regex.Expr {
 			if i == j || !keep[j] {
 				continue
 			}
-			if Contains(items[j], items[i]) {
+			contained, err := ContainsBudget(items[j], items[i], bud)
+			if err != nil {
+				return nil, err
+			}
+			if contained {
 				keep[j] = false
 			}
 		}
@@ -93,5 +148,5 @@ func absorb(items []regex.Expr) []regex.Expr {
 			out = append(out, it)
 		}
 	}
-	return out
+	return out, nil
 }

@@ -1,0 +1,36 @@
+// Package budgetflag installs the shared -budget-* command-line flags the
+// MIX tools use to bound inference-side automata work (internal/budget).
+// The three knobs mirror Limits' resource axes; -budget-refine rides along
+// for completeness but the headline flags named in the docs are deadline,
+// states and classes.
+package budgetflag
+
+import (
+	"flag"
+
+	"repro/internal/budget"
+)
+
+// Register installs the -budget-deadline, -budget-states, -budget-classes
+// and -budget-refine flags on fs and returns a function that assembles the
+// resulting Limits once fs has been parsed. Zero values leave the
+// corresponding resource unlimited, so running without any -budget-* flag
+// is exactly the unbudgeted behavior.
+func Register(fs *flag.FlagSet) func() budget.Limits {
+	deadline := fs.Duration("budget-deadline", 0,
+		"wall-clock budget for DTD inference/analysis (0 = unlimited)")
+	states := fs.Int64("budget-states", 0,
+		"max DFA states constructed during inference/analysis (0 = unlimited)")
+	classes := fs.Int64("budget-classes", 0,
+		"max structural classes enumerated (0 = unlimited)")
+	refine := fs.Int64("budget-refine", 0,
+		"max refinement steps, in AST nodes processed (0 = unlimited)")
+	return func() budget.Limits {
+		return budget.Limits{
+			Deadline:       *deadline,
+			MaxStates:      *states,
+			MaxClasses:     *classes,
+			MaxRefineSteps: *refine,
+		}
+	}
+}

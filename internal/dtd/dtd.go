@@ -240,14 +240,49 @@ func (d *DTD) Realizable() map[string]bool {
 				changed = true
 				continue
 			}
-			restricted := d.dfa(n).RestrictTo(func(m regex.Name) bool { return real[m.Base] })
-			if !restricted.IsEmpty() {
+			if realizableExpr(t.Model, func(m regex.Name) bool { return real[m.Base] }) {
 				real[n] = true
 				changed = true
 			}
 		}
 	}
 	return real
+}
+
+// realizableExpr reports whether e accepts some word using only names
+// satisfying ok — the emptiness question L(e) ∩ ok* ≠ ∅, decided
+// syntactically on the expression. It deliberately avoids the automata
+// path: realizability runs before any budget applies, and a content model
+// engineered to blow up subset construction (the budgeted-inference
+// threat model) must not stall it.
+func realizableExpr(e regex.Expr, ok func(regex.Name) bool) bool {
+	switch v := e.(type) {
+	case regex.Empty:
+		return true
+	case regex.Fail:
+		return false
+	case regex.Atom:
+		return ok(v.Name)
+	case regex.Star, regex.Opt:
+		return true // ε is always available
+	case regex.Plus:
+		return realizableExpr(v.Sub, ok)
+	case regex.Concat:
+		for _, it := range v.Items {
+			if !realizableExpr(it, ok) {
+				return false
+			}
+		}
+		return true
+	case regex.Alt:
+		for _, it := range v.Items {
+			if realizableExpr(it, ok) {
+				return true
+			}
+		}
+		return false
+	}
+	panic(fmt.Sprintf("dtd: unknown regex node %T", e))
 }
 
 // Check verifies internal consistency: the document type is declared, and

@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/automata"
+	"repro/internal/budget"
 	"repro/internal/dtd"
 	"repro/internal/regex"
 	"repro/internal/sdtd"
@@ -69,6 +70,20 @@ type Result struct {
 	// NonTight is true when at least one merge lost information: the plain
 	// DTD is then strictly less tight than the s-DTD.
 	NonTight bool
+	// Degraded is true when the budget attached to the context (see
+	// internal/budget) ran out during inference and the result fell back
+	// to a sound-but-looser view DTD: refinement was skipped for some
+	// element names (their specializations keep the unrefined source
+	// types) and/or semantic reductions fell back to syntactic form.
+	// Soundness is never sacrificed — only tightness, the trade the
+	// paper's partial order (Definition 3.2) licenses.
+	Degraded bool
+	// DegradedNames lists the element names whose refinement was skipped
+	// or cut short, sorted.
+	DegradedNames []string
+	// DegradedReason is the budget's exhaustion message (which resource
+	// ran out, at what limit).
+	DegradedReason string
 }
 
 // validityCheckSizeLimit bounds the combined AST size at which the
@@ -85,11 +100,50 @@ type spec struct {
 
 type inferencer struct {
 	ctx     context.Context
+	bud     *budget.Budget
 	src     *dtd.DTD
 	q       *xmas.Query
 	nextTag map[string]int
 	// full memoizes tightenCond results (full refinement, all children).
 	full map[*xmas.Cond]map[string]*spec
+
+	// mu guards the two fields below, which fan-out workers write.
+	mu sync.Mutex
+	// panicErr is the first panic recovered in a worker, as an error.
+	panicErr error
+	// degraded records element names whose refinement was skipped or cut
+	// short by budget exhaustion.
+	degraded map[string]bool
+}
+
+// recordPanic stores the first worker panic; later ones are dropped (one
+// root cause is enough, and the first is the least likely to be fallout).
+func (in *inferencer) recordPanic(err error) {
+	in.mu.Lock()
+	if in.panicErr == nil {
+		in.panicErr = err
+	}
+	in.mu.Unlock()
+}
+
+// markDegraded records that n's specialization kept its unrefined source
+// type (or a conservatively classified one) because the budget ran out.
+func (in *inferencer) markDegraded(n string) {
+	in.mu.Lock()
+	in.degraded[n] = true
+	in.mu.Unlock()
+}
+
+// err reports the first fatal interrupt: a worker panic or a cancelled
+// context. Budget exhaustion is deliberately NOT fatal — it degrades.
+func (in *inferencer) err() error {
+	in.mu.Lock()
+	p := in.panicErr
+	in.mu.Unlock()
+	if p != nil {
+		return p
+	}
+	return in.ctx.Err()
 }
 
 // Infer derives the view DTD for a pick-element query over the source DTD.
@@ -100,11 +154,21 @@ func Infer(q *xmas.Query, src *dtd.DTD) (*Result, error) {
 	return InferContext(context.Background(), q, src)
 }
 
-// InferContext is Infer with cancellation: the per-name refinement fan-out
-// (the hot loop of the tightening pass, which compiles and checks automata
-// for every element name a condition can match) runs on up to GOMAXPROCS
-// goroutines and stops early when the context is cancelled, in which case
-// the context's error is returned.
+// InferContext is Infer with cancellation and budgeting: the per-name
+// refinement fan-out (the hot loop of the tightening pass, which compiles
+// and checks automata for every element name a condition can match) runs
+// on up to GOMAXPROCS goroutines and stops early when the context is
+// cancelled, in which case the context's error is returned. A panic in a
+// worker is recovered and returned as an error naming the offending
+// element, never crashing the process.
+//
+// A budget attached to the context (budget.NewContext) bounds the
+// inference-side automata work. Budget exhaustion is NOT an error: the
+// affected element names keep their unrefined source types — a sound but
+// looser view DTD — and the Result reports Degraded with the names and
+// reason. This is the paper's soundness-over-tightness trade made
+// operational: a pathological source DTD yields a usable (sound) view
+// DTD within the budget instead of an exponential construction.
 func InferContext(ctx context.Context, q *xmas.Query, src *dtd.DTD) (*Result, error) {
 	if errs := q.Validate(); len(errs) > 0 {
 		return nil, fmt.Errorf("infer: invalid query: %v", errs[0])
@@ -119,11 +183,13 @@ func InferContext(ctx context.Context, q *xmas.Query, src *dtd.DTD) (*Result, er
 		return nil, fmt.Errorf("infer: view name %q collides with a source element name", q.Name)
 	}
 	in := &inferencer{
-		ctx:     ctx,
-		src:     src,
-		q:       q,
-		nextTag: map[string]int{},
-		full:    map[*xmas.Cond]map[string]*spec{},
+		ctx:      ctx,
+		bud:      budget.FromContext(ctx),
+		src:      src,
+		q:        q,
+		nextTag:  map[string]int{},
+		full:     map[*xmas.Cond]map[string]*spec{},
+		degraded: map[string]bool{},
 	}
 	path, err := q.PathToPick()
 	if err != nil {
@@ -133,25 +199,25 @@ func InferContext(ctx context.Context, q *xmas.Query, src *dtd.DTD) (*Result, er
 	// Result-list type inference (Section 4.4) yields the content model of
 	// the view's top element over the pick specializations.
 	listType := in.inferList(path)
-	if err := ctx.Err(); err != nil {
-		// Cancelled mid-fan-out: specs may be half-computed; bail before
-		// assembling anything from them.
+	if err := in.err(); err != nil {
+		// Cancelled or panicked mid-fan-out: specs may be half-computed;
+		// bail before assembling anything from them.
 		return nil, err
 	}
 
 	// Assemble the specialized view DTD.
 	view := sdtd.New(regex.N(q.Name))
-	view.Declare(regex.N(q.Name), dtd.M(automata.Reduce(listType)))
+	view.Declare(regex.N(q.Name), dtd.M(automata.ReduceBudget(listType, in.bud)))
 	pick := path[len(path)-1]
 	in.declareSubtree(view, pick)
-	if err := ctx.Err(); err != nil {
+	if err := in.err(); err != nil {
 		return nil, err
 	}
 	in.pull(view)
 	pruneUnreachable(view)
-	view = view.Normalize()
+	view = view.NormalizeBudget(in.bud)
 
-	plain, events, err := view.Merge()
+	plain, events, err := view.MergeBudget(in.bud)
 	if err != nil {
 		return nil, fmt.Errorf("infer: %v", err)
 	}
@@ -161,13 +227,25 @@ func InferContext(ctx context.Context, q *xmas.Query, src *dtd.DTD) (*Result, er
 			nonTight = true
 		}
 	}
-	return &Result{
+	class := in.queryClass()
+	if err := in.err(); err != nil {
+		return nil, err
+	}
+	res := &Result{
 		SDTD:     view,
 		DTD:      plain,
-		Class:    in.queryClass(),
+		Class:    class,
 		Merges:   events,
 		NonTight: nonTight,
-	}, nil
+	}
+	if ex := in.bud.Exhausted(); ex != nil {
+		res.Degraded = true
+		res.DegradedReason = ex.Error()
+		in.mu.Lock()
+		res.DegradedNames = sortedKeys(in.degraded)
+		in.mu.Unlock()
+	}
+	return res, nil
 }
 
 // effNames returns the names the condition can match among the DTD's
@@ -249,9 +327,21 @@ func (in *inferencer) refineWith(c *xmas.Cond, children []*xmas.Cond) map[string
 	// The per-name refinements are independent (they read only the source
 	// DTD and the shared sels) and each one compiles and checks automata,
 	// so they fan out across goroutines.
-	in.fanOut(len(names), func(i int) {
+	in.fanOut(len(names), func(i int) string { return names[i] }, func(i int) {
 		in.computeSpec(c, children, sels, names[i], out[names[i]])
 	})
+	// An interrupted fan-out (cancellation or a worker panic) leaves some
+	// specs half-built: typ zero-valued (nil Model, not PCDATA). Later
+	// phases would feed that nil into regex.Map and panic on the main
+	// goroutine, so patch them into inert Unsatisfiable specs; the
+	// interrupt itself is surfaced by the phase checks on in.err().
+	for _, n := range names {
+		sp := out[n]
+		if sp.typ.Model == nil && !sp.typ.PCDATA {
+			sp.typ = dtd.M(regex.Bot())
+			sp.class = Unsatisfiable
+		}
+	}
 	return out
 }
 
@@ -280,20 +370,42 @@ func (in *inferencer) computeSpec(c *xmas.Cond, children []*xmas.Cond, sels []ch
 		// Subconditions can never match inside character content.
 		sp.class = Unsatisfiable
 	default:
+		if in.bud.Err() != nil {
+			// Budget already exhausted: skip refinement entirely. The
+			// unrefined source type is a superset of the refined language
+			// (refinement only removes words), so the view DTD stays sound;
+			// Satisfiable is the sound middle classification (never claims
+			// Valid, never prunes as Unsatisfiable).
+			in.markDegraded(n)
+			sp.typ = srcType
+			sp.class = Satisfiable
+			break
+		}
 		t := srcType.Model
 		class := Valid
+		degraded := false
 		for _, cs := range sels {
 			if cs.class == Unsatisfiable {
 				t = regex.Bot()
 				break
 			}
-			t = automata.Reduce(Refine(t, cs.sel))
+			if err := in.bud.ChargeRefine(int64(regex.Size(t))); err != nil {
+				degraded = true
+				break
+			}
+			t = automata.ReduceBudget(Refine(t, cs.sel), in.bud)
 			if regex.IsFail(t) {
 				break
 			}
 			if cs.class != Valid {
 				class = Satisfiable
 			}
+		}
+		if degraded || in.bud.Err() != nil {
+			in.markDegraded(n)
+			sp.typ = srcType
+			sp.class = Satisfiable
+			break
 		}
 		if regex.IsFail(t) {
 			sp.class = Unsatisfiable
@@ -303,7 +415,7 @@ func (in *inferencer) computeSpec(c *xmas.Cond, children []*xmas.Cond, sels []ch
 		// "if the refinement included an elimination of a disjunct or a
 		// refinement of a star expression, indicate that the condition
 		// is not satisfied by all instances" (Figure 2).
-		if class == Valid && !refinementIsValid(srcType.Model, sels) {
+		if class == Valid && !refinementIsValid(srcType.Model, sels, in.bud) {
 			class = Satisfiable
 		}
 		sp.typ = dtd.M(t)
@@ -315,20 +427,40 @@ func (in *inferencer) computeSpec(c *xmas.Cond, children []*xmas.Cond, sels []ch
 }
 
 // fanOut runs f(0..n-1) on up to GOMAXPROCS goroutines, stopping early
-// (without starting new items) when the inferencer's context is cancelled.
+// (without starting new items) when the inferencer's context is cancelled
+// or a worker has panicked. A panic inside f is recovered and recorded as
+// an error naming the offending item (via label), so one pathological
+// element name fails the inference call instead of crashing the process.
 // With a single processor — or a single item — it degrades to the plain
 // serial loop, paying no goroutine overhead.
-func (in *inferencer) fanOut(n int, f func(i int)) {
+func (in *inferencer) fanOut(n int, label func(i int) string, f func(i int)) {
+	run := func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				in.recordPanic(fmt.Errorf("infer: panic refining element %q: %v", label(i), r))
+			}
+		}()
+		f(i)
+	}
+	stopped := func() bool {
+		if in.ctx.Err() != nil {
+			return true
+		}
+		in.mu.Lock()
+		p := in.panicErr
+		in.mu.Unlock()
+		return p != nil
+	}
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			if in.ctx.Err() != nil {
+			if stopped() {
 				return
 			}
-			f(i)
+			run(i)
 		}
 		return
 	}
@@ -340,10 +472,10 @@ func (in *inferencer) fanOut(n int, f func(i int)) {
 			defer wg.Done()
 			for {
 				i := int(atomic.AddInt64(&next, 1)) - 1
-				if i >= n || in.ctx.Err() != nil {
+				if i >= n || stopped() {
 					return
 				}
-				f(i)
+				run(i)
 			}
 		}()
 	}
@@ -364,7 +496,7 @@ func (in *inferencer) fanOut(n int, f func(i int)) {
 // scale models. Overlapping, non-identical selections fall back to the
 // language-containment check, size-limited (too large ⇒ conservatively
 // not valid; sound, merely less tight).
-func refinementIsValid(model regex.Expr, sels []childSel) bool {
+func refinementIsValid(model regex.Expr, sels []childSel, bud *budget.Budget) bool {
 	type group struct {
 		bases map[string]bool
 		key   string
@@ -403,7 +535,8 @@ func refinementIsValid(model regex.Expr, sels []childSel) bool {
 	}
 	if disjoint {
 		for _, g := range groups {
-			if !atLeastOccurrences(model, g.bases, g.count) {
+			ok, err := atLeastOccurrences(model, g.bases, g.count, bud)
+			if err != nil || !ok {
 				return false
 			}
 		}
@@ -421,13 +554,19 @@ func refinementIsValid(model regex.Expr, sels []childSel) bool {
 	if regex.Size(img)+regex.Size(model) > validityCheckSizeLimit {
 		return false // conservative
 	}
-	return automata.Contains(model, img)
+	contained, err := automata.ContainsBudget(model, img, bud)
+	return err == nil && contained
 }
 
 // atLeastOccurrences reports whether every word of L(model) contains at
-// least k positions whose (untagged) name lies in bases.
-func atLeastOccurrences(model regex.Expr, bases map[string]bool, k int) bool {
-	d := automata.Compiled(model)
+// least k positions whose (untagged) name lies in bases. The DFA
+// compilation is the expensive part, so it is budgeted; an exhausted
+// budget returns an error and the caller answers conservatively.
+func atLeastOccurrences(model regex.Expr, bases map[string]bool, k int, bud *budget.Budget) (bool, error) {
+	d, err := automata.CompiledBudget(model, bud)
+	if err != nil {
+		return false, err
+	}
 	counting := make([]bool, len(d.Alphabet))
 	for ai, n := range d.Alphabet {
 		counting[ai] = n.Tag == 0 && bases[n.Base]
@@ -440,7 +579,7 @@ func atLeastOccurrences(model regex.Expr, bases map[string]bool, k int) bool {
 		cur := queue[0]
 		queue = queue[1:]
 		if d.Accept[cur.s] && cur.c < k {
-			return false
+			return false, nil
 		}
 		for ai := range d.Alphabet {
 			nc := cur.c
@@ -454,7 +593,7 @@ func atLeastOccurrences(model regex.Expr, bases map[string]bool, k int) bool {
 			}
 		}
 	}
-	return true
+	return true, nil
 }
 
 // queryClass classifies the whole condition against the source document

@@ -52,7 +52,7 @@ func TestRefinementIsValidBasics(t *testing.T) {
 		{"a, b?", []childSel{mkSel(1, "a", "b"), mkSel(2, "b")}, false},
 	}
 	for _, c := range cases {
-		got := refinementIsValid(regex.MustParse(c.model), c.sels)
+		got := refinementIsValid(regex.MustParse(c.model), c.sels, nil)
 		if got != c.want {
 			t.Errorf("refinementIsValid(%s, %v) = %v, want %v", c.model, c.sels, got, c.want)
 		}
@@ -110,7 +110,7 @@ func TestRefinementIsValidDifferential(t *testing.T) {
 			sels = append(sels, mkSel(tag, "c"))
 			tag++
 		}
-		fast := refinementIsValid(model, sels)
+		fast := refinementIsValid(model, sels, nil)
 		spec := refinementIsValidBySpec(model, sels)
 		if fast != spec {
 			t.Fatalf("round %d: fast=%v spec=%v for model %s, sels %v", round, fast, spec, model, sels)
@@ -138,7 +138,11 @@ func TestAtLeastOccurrences(t *testing.T) {
 		for _, b := range c.bases {
 			bases[b] = true
 		}
-		if got := atLeastOccurrences(regex.MustParse(c.model), bases, c.k); got != c.want {
+		got, err := atLeastOccurrences(regex.MustParse(c.model), bases, c.k, nil)
+		if err != nil {
+			t.Fatalf("atLeastOccurrences(%s, %v, %d): %v", c.model, c.bases, c.k, err)
+		}
+		if got != c.want {
 			t.Errorf("atLeastOccurrences(%s, %v, %d) = %v, want %v", c.model, c.bases, c.k, got, c.want)
 		}
 	}

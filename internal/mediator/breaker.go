@@ -1,0 +1,216 @@
+package mediator
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/dtd"
+	"repro/internal/xmlmodel"
+)
+
+// ErrBreakerOpen is returned by a BreakerSource whose circuit breaker is
+// open: the source has failed repeatedly and calls are rejected without
+// touching it until the cooldown elapses. The mediator's evaluate loop
+// treats this error specially — the failing source's parts are dropped
+// from the union view (a degraded but fast materialization) instead of
+// failing the whole view.
+var ErrBreakerOpen = errors.New("mediator: circuit breaker open")
+
+// BreakerCounter is optionally implemented by wrappers that guard a source
+// with a circuit breaker (BreakerSource); Mediator.Stats sums these into
+// Stats.BreakerTrips / Stats.BreakerRejections.
+type BreakerCounter interface {
+	BreakerTrips() int64
+	BreakerRejections() int64
+}
+
+// BreakerOptions configures a circuit breaker.
+type BreakerOptions struct {
+	// Threshold is the number of consecutive failures that opens the
+	// breaker (default 3).
+	Threshold int
+	// Cooldown is how long an open breaker rejects calls before allowing a
+	// half-open probe (default 5s).
+	Cooldown time.Duration
+	// Clock overrides time.Now, letting tests drive the state machine
+	// without sleeping.
+	Clock func() time.Time
+}
+
+func (o BreakerOptions) withDefaults() BreakerOptions {
+	if o.Threshold <= 0 {
+		o.Threshold = 3
+	}
+	if o.Cooldown <= 0 {
+		o.Cooldown = 5 * time.Second
+	}
+	if o.Clock == nil {
+		o.Clock = time.Now
+	}
+	return o
+}
+
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// Breaker is a per-source circuit breaker: closed (calls flow, consecutive
+// failures counted) → open (calls rejected for the cooldown) → half-open
+// (exactly one probe call allowed; its success closes the breaker, its
+// failure re-opens it). Safe for concurrent use.
+type Breaker struct {
+	opts BreakerOptions
+
+	mu       sync.Mutex
+	state    breakerState
+	failures int
+	openedAt time.Time
+	probing  bool // a half-open probe is in flight
+
+	trips      int64
+	rejections int64
+}
+
+// NewBreaker builds a breaker with the given options (zero values get
+// defaults).
+func NewBreaker(opts BreakerOptions) *Breaker {
+	return &Breaker{opts: opts.withDefaults()}
+}
+
+// Allow reports whether a call may proceed. Open breakers reject with
+// ErrBreakerOpen until the cooldown has elapsed, at which point exactly one
+// caller is let through as the half-open probe; its Record outcome decides
+// whether the breaker closes or re-opens.
+func (b *Breaker) Allow() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return nil
+	case breakerOpen:
+		if b.opts.Clock().Sub(b.openedAt) >= b.opts.Cooldown {
+			b.state = breakerHalfOpen
+			b.probing = true
+			return nil
+		}
+		b.rejections++
+		return ErrBreakerOpen
+	default: // half-open
+		if b.probing {
+			b.rejections++
+			return ErrBreakerOpen
+		}
+		b.probing = true
+		return nil
+	}
+}
+
+// Record reports the outcome of an allowed call. ctx-cancellation errors
+// should not be fed to Record (they say nothing about the source's health);
+// BreakerSource filters them out.
+func (b *Breaker) Record(failed bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !failed {
+		b.state = breakerClosed
+		b.failures = 0
+		b.probing = false
+		return
+	}
+	switch b.state {
+	case breakerHalfOpen:
+		// Probe failed: back to open, cooldown restarts.
+		b.state = breakerOpen
+		b.openedAt = b.opts.Clock()
+		b.probing = false
+		b.trips++
+	case breakerClosed:
+		b.failures++
+		if b.failures >= b.opts.Threshold {
+			b.state = breakerOpen
+			b.openedAt = b.opts.Clock()
+			b.trips++
+		}
+	}
+}
+
+// Trips returns the number of closed/half-open → open transitions.
+func (b *Breaker) Trips() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}
+
+// Rejections returns the number of calls rejected with ErrBreakerOpen.
+func (b *Breaker) Rejections() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.rejections
+}
+
+// BreakerSource wraps a Wrapper with a circuit breaker: after Threshold
+// consecutive Fetch failures the source is considered dead and further
+// fetches fail fast with ErrBreakerOpen (no network round trip, no retry
+// storm) until a cooldown-spaced probe succeeds. Put it around an
+// HTTPSource so one dead site degrades its parts of a union view instead
+// of stalling every materialization for the full retry/timeout budget.
+type BreakerSource struct {
+	inner Wrapper
+	b     *Breaker
+}
+
+// NewBreakerSource guards w with a breaker built from opts.
+func NewBreakerSource(w Wrapper, opts BreakerOptions) *BreakerSource {
+	return &BreakerSource{inner: w, b: NewBreaker(opts)}
+}
+
+// Breaker exposes the underlying breaker (for tests and metrics).
+func (s *BreakerSource) Breaker() *Breaker { return s.b }
+
+// Name implements Wrapper.
+func (s *BreakerSource) Name() string { return s.inner.Name() }
+
+// Schema implements Wrapper.
+func (s *BreakerSource) Schema() *dtd.DTD { return s.inner.Schema() }
+
+// Fetch implements Wrapper: rejected fast when the breaker is open,
+// otherwise delegated with the outcome recorded. A failure caused by the
+// caller's context (cancellation, deadline it imposed) is not held against
+// the source.
+func (s *BreakerSource) Fetch(ctx context.Context) (*xmlmodel.Document, error) {
+	if err := s.b.Allow(); err != nil {
+		return nil, fmt.Errorf("%s: %w", s.inner.Name(), err)
+	}
+	doc, err := s.inner.Fetch(ctx)
+	if err != nil && ctx.Err() != nil && errors.Is(err, ctx.Err()) {
+		// The caller went away; the source's health is unknown. Release the
+		// half-open probe slot without changing state.
+		s.b.mu.Lock()
+		s.b.probing = false
+		s.b.mu.Unlock()
+		return nil, err
+	}
+	s.b.Record(err != nil)
+	return doc, err
+}
+
+// Retries implements RetryCounter when the wrapped source does.
+func (s *BreakerSource) Retries() int64 {
+	if rc, ok := s.inner.(RetryCounter); ok {
+		return rc.Retries()
+	}
+	return 0
+}
+
+// BreakerTrips implements BreakerCounter.
+func (s *BreakerSource) BreakerTrips() int64 { return s.b.Trips() }
+
+// BreakerRejections implements BreakerCounter.
+func (s *BreakerSource) BreakerRejections() int64 { return s.b.Rejections() }

@@ -1,0 +1,275 @@
+package mediator
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/dtd"
+	"repro/internal/xmlmodel"
+)
+
+// faultyRemote serves the minimal mixserve-shaped remote view behind a
+// FaultyHandler with the given wire-fault script. Entry 0 is consumed by
+// the registration-time DTD fetch, so scripts targeting Fetch start at
+// entry 1.
+func faultyRemote(script ...WireFault) (*httptest.Server, *FaultyHandler) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /views/v/dtd", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, remoteDTD)
+	})
+	mux.HandleFunc("GET /views/v", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, remoteDTD)
+		fmt.Fprintln(w, remoteDoc)
+	})
+	fh := NewFaultyHandler(mux, script...)
+	return httptest.NewServer(fh), fh
+}
+
+// TestFaultyHandler5xxBurst: a burst of 503s must be absorbed by the
+// retry/backoff machinery — the fetch succeeds once the burst passes, and
+// the retry counter records exactly the burst length.
+func TestFaultyHandler5xxBurst(t *testing.T) {
+	srv, fh := faultyRemote(
+		WireFault{}, // registration DTD fetch
+		WireFault{Status: http.StatusServiceUnavailable},
+		WireFault{Status: http.StatusBadGateway},
+	)
+	defer srv.Close()
+
+	src, err := NewHTTPSource(nil, srv.URL, "v", WithRetries(3), WithBackoff(time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := src.Fetch(context.Background())
+	if err != nil {
+		t.Fatalf("fetch must outlast a 2-deep 5xx burst: %v", err)
+	}
+	if len(doc.Root.Children) != 1 {
+		t.Errorf("doc = %v", doc.Root)
+	}
+	if got := src.Retries(); got != 2 {
+		t.Errorf("retries = %d, want 2", got)
+	}
+	if got := fh.Injected(); got != 2 {
+		t.Errorf("injected = %d, want 2", got)
+	}
+}
+
+// TestFaultyHandlerSlowRemote: a scripted response delay longer than the
+// client timeout looks like a hung remote; the retry after it must succeed
+// within bounded latency.
+func TestFaultyHandlerSlowRemote(t *testing.T) {
+	srv, _ := faultyRemote(
+		WireFault{},
+		WireFault{Delay: 5 * time.Second},
+	)
+	defer srv.Close()
+
+	client := &http.Client{Timeout: 100 * time.Millisecond}
+	src, err := NewHTTPSource(client, srv.URL, "v", WithRetries(1), WithBackoff(time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := src.Fetch(context.Background()); err != nil {
+		t.Fatalf("retry after the slow response must succeed: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("fetch took %v; must be bounded by timeout+retry, not the injected delay", elapsed)
+	}
+}
+
+// TestFaultyHandlerTruncatedBody: a connection severed mid-body (full
+// Content-Length declared, prefix written) is a transport error, so it is
+// retried like any transient failure.
+func TestFaultyHandlerTruncatedBody(t *testing.T) {
+	srv, fh := faultyRemote(
+		WireFault{},
+		WireFault{TruncateBody: 10},
+	)
+	defer srv.Close()
+
+	src, err := NewHTTPSource(nil, srv.URL, "v", WithRetries(2), WithBackoff(time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := src.Fetch(context.Background())
+	if err != nil {
+		t.Fatalf("retry after the mid-body disconnect must succeed: %v", err)
+	}
+	if doc.Root.Name != "members" {
+		t.Errorf("root = %q", doc.Root.Name)
+	}
+	if got := src.Retries(); got != 1 {
+		t.Errorf("retries = %d, want 1", got)
+	}
+	if got := fh.Injected(); got != 1 {
+		t.Errorf("injected = %d, want 1", got)
+	}
+}
+
+// TestFaultyHandlerTruncationNoRetryFails: without retries the truncation
+// must surface as a fetch error, not a mangled document.
+func TestFaultyHandlerTruncationNoRetryFails(t *testing.T) {
+	srv, _ := faultyRemote(
+		WireFault{},
+		WireFault{TruncateBody: 10},
+	)
+	defer srv.Close()
+
+	src, err := NewHTTPSource(nil, srv.URL, "v", WithRetries(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.Fetch(context.Background()); err == nil {
+		t.Fatal("truncated body without retries must fail the fetch")
+	}
+}
+
+// TestFaultyHandlerCorruptBody: a corrupted-but-complete payload arrives
+// with status 200, so the wire layer does not retry — the parse/validate
+// stage must reject it ("never trust the wire") rather than hand garbage
+// to the mediator.
+func TestFaultyHandlerCorruptBody(t *testing.T) {
+	srv, fh := faultyRemote(
+		WireFault{},
+		WireFault{CorruptBody: true},
+	)
+	defer srv.Close()
+
+	src, err := NewHTTPSource(nil, srv.URL, "v", WithRetries(3), WithBackoff(time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = src.Fetch(context.Background())
+	if err == nil {
+		t.Fatal("corrupted payload must fail the fetch")
+	}
+	if !strings.Contains(err.Error(), "unparseable") {
+		t.Errorf("err = %v, want a parse rejection", err)
+	}
+	if got := src.Retries(); got != 0 {
+		t.Errorf("retries = %d, want 0 (a 200 with bad bytes is not transient)", got)
+	}
+	if got := fh.Injected(); got != 1 {
+		t.Errorf("injected = %d, want 1", got)
+	}
+}
+
+// staticDeptSource builds the department StaticSource used as the inner
+// wrapper of fault-source tests.
+func staticDeptSource(t *testing.T) *StaticSource {
+	t.Helper()
+	d, err := dtd.Parse(d1Text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, _, err := xmlmodel.Parse(deptDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := NewStaticSource("cs-dept", doc, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return src
+}
+
+// TestFaultSourceScript: scripted fetch errors fire in order, passthrough
+// entries (and calls beyond the script) reach the inner source.
+func TestFaultSourceScript(t *testing.T) {
+	boom := errors.New("disk on fire")
+	fs := NewFaultSource(staticDeptSource(t), Fault{Err: boom}, Fault{})
+	if _, err := fs.Fetch(context.Background()); !errors.Is(err, boom) {
+		t.Fatalf("first fetch = %v, want the scripted error", err)
+	}
+	doc, err := fs.Fetch(context.Background())
+	if err != nil || doc.Root.Name != "department" {
+		t.Fatalf("second fetch = %v, %v; want passthrough", doc, err)
+	}
+	if _, err := fs.Fetch(context.Background()); err != nil {
+		t.Fatalf("beyond-script fetch = %v, want passthrough", err)
+	}
+	if got := fs.Injected(); got != 1 {
+		t.Errorf("injected = %d, want 1", got)
+	}
+}
+
+// TestFaultSourceDelayHonorsContext: an injected delay must not outlive
+// the caller's context.
+func TestFaultSourceDelayHonorsContext(t *testing.T) {
+	fs := NewFaultSource(staticDeptSource(t), Fault{Delay: 10 * time.Second})
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := fs.Fetch(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want the context deadline", err)
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("delayed fetch held the caller for %v", elapsed)
+	}
+}
+
+// TestRandomFaultsDeterministic: a seed fully determines the script, so
+// randomized fault campaigns replay exactly.
+func TestRandomFaultsDeterministic(t *testing.T) {
+	errX := errors.New("x")
+	a := RandomFaults(7, 64, 0.4, 3*time.Millisecond, errX)
+	b := RandomFaults(7, 64, 0.4, 3*time.Millisecond, errX)
+	if len(a) != 64 || len(b) != 64 {
+		t.Fatalf("lengths = %d, %d", len(a), len(b))
+	}
+	injected := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("entry %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+		if a[i].Err != nil {
+			injected++
+		}
+	}
+	if injected == 0 || injected == 64 {
+		t.Fatalf("p=0.4 over 64 entries produced %d faults; script is degenerate", injected)
+	}
+}
+
+// TestFaultSourceConcurrent hammers a scripted source from many goroutines
+// (run under -race): entries are consumed exactly once each, so the total
+// injected count equals the script's error count regardless of scheduling.
+func TestFaultSourceConcurrent(t *testing.T) {
+	boom := errors.New("flaky")
+	script := RandomFaults(11, 48, 0.5, 0, boom)
+	want := 0
+	for _, f := range script {
+		if f.Err != nil {
+			want++
+		}
+	}
+	fs := NewFaultSource(staticDeptSource(t), script...)
+	var wg sync.WaitGroup
+	for i := 0; i < 48; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			doc, err := fs.Fetch(context.Background())
+			if err != nil && !errors.Is(err, boom) {
+				t.Errorf("unexpected error: %v", err)
+			}
+			if err == nil && doc.Root.Name != "department" {
+				t.Errorf("bad doc root %q", doc.Root.Name)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := fs.Injected(); int(got) != want {
+		t.Errorf("injected = %d, want %d", got, want)
+	}
+}

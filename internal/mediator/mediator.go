@@ -29,6 +29,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/budget"
 	"repro/internal/dtd"
 	"repro/internal/engine"
 	"repro/internal/infer"
@@ -116,6 +117,13 @@ type View struct {
 	// NonTight reports that converting the s-DTD to the plain DTD lost
 	// information (Section 4.3's merge signal).
 	NonTight bool
+	// Degraded reports that inference exhausted its resource budget and the
+	// view DTDs above are sound but looser than unbounded inference would
+	// produce (see internal/budget); DegradedReason carries the exhaustion
+	// message and DegradedSources the parts whose inference degraded.
+	Degraded        bool
+	DegradedReason  string
+	DegradedSources []string
 }
 
 // QueryStats reports how a query against a view was executed.
@@ -131,14 +139,34 @@ type QueryStats struct {
 	// mistake a broken simplifier (zero pruning, zero skips) for a fast
 	// one; internal/serve surfaces this as X-Mix-Simplifier-Error.
 	SimplifierError string
+	// Degraded / DegradedSources report that the materialization this query
+	// ran against dropped the parts of breaker-open sources (see
+	// MaterializeInfo); internal/serve surfaces this as X-Mix-Degraded.
+	Degraded        bool
+	DegradedSources []string
+}
+
+// MaterializeInfo reports how a materialization went beyond its document:
+// whether breaker-open sources forced a degraded (partial) view.
+type MaterializeInfo struct {
+	// Degraded is true when at least one part was dropped because its
+	// source's circuit breaker was open. The returned document then misses
+	// that source's elements — still sound against the view DTD whenever
+	// the per-part lists are independently optional, and never cached, so
+	// the next materialization after the breaker closes is complete.
+	Degraded bool
+	// DegradedSources names the sources whose parts were dropped, sorted.
+	DegradedSources []string
 }
 
 // inflightCall is one in-progress materialization; followers wait on done
-// and read doc/err, which are written exactly once before done is closed.
+// and read doc/info/err, which are written exactly once before done is
+// closed.
 type inflightCall struct {
 	gen  uint64 // cache generation when the evaluation started
 	done chan struct{}
 	doc  *xmlmodel.Document
+	info *MaterializeInfo
 	err  error
 }
 
@@ -155,6 +183,9 @@ type Mediator struct {
 	// older generation must not populate matCache: its result may predate
 	// the source change the invalidation announced.
 	gen uint64
+	// inferLimits bounds the view DTD inference run at view-definition time
+	// (zero value: unlimited). See SetInferenceBudget.
+	inferLimits budget.Limits
 
 	stats statsCounters
 }
@@ -172,6 +203,24 @@ func New(name string) *Mediator {
 
 // Name returns the mediator's name.
 func (m *Mediator) Name() string { return m.name }
+
+// SetInferenceBudget bounds every subsequent view definition's DTD
+// inference (deadline, DFA states, enumeration classes, refine steps; zero
+// fields are unlimited). Exhaustion does not fail DefineView — the view is
+// registered with a sound-but-looser DTD and marked Degraded, per the
+// paper's soundness-over-tightness order (Definition 3.2).
+func (m *Mediator) SetInferenceBudget(l budget.Limits) {
+	m.mu.Lock()
+	m.inferLimits = l
+	m.mu.Unlock()
+}
+
+// InferenceBudget returns the limits set by SetInferenceBudget.
+func (m *Mediator) InferenceBudget() budget.Limits {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.inferLimits
+}
 
 // AddSource registers a wrapper.
 func (m *Mediator) AddSource(w Wrapper) error {
@@ -227,6 +276,14 @@ func (m *Mediator) DefineUnionView(name string, parts []ViewPart) (*View, error)
 		return nil, fmt.Errorf("mediator: view %s already defined", name)
 	}
 	v := &View{Name: name}
+	// One budget for the whole view definition: the parts share the limits,
+	// so a pathological source DTD cannot starve its siblings of nothing —
+	// whatever it consumes, the remaining parts degrade soundly too.
+	var bud *budget.Budget
+	if m.inferLimits != (budget.Limits{}) {
+		bud = budget.New(m.inferLimits)
+	}
+	inferCtx := budget.NewContext(context.Background(), bud)
 	var partSDTDs []*sdtd.SDTD
 	var classes []infer.Class
 	for _, p := range parts {
@@ -236,9 +293,14 @@ func (m *Mediator) DefineUnionView(name string, parts []ViewPart) (*View, error)
 		}
 		q := p.Query.Clone()
 		q.Name = name
-		res, err := infer.Infer(q, w.Schema())
+		res, err := infer.InferContext(inferCtx, q, w.Schema())
 		if err != nil {
 			return nil, fmt.Errorf("mediator: view %s over %s: %v", name, p.Source, err)
+		}
+		if res.Degraded {
+			v.Degraded = true
+			v.DegradedReason = res.DegradedReason
+			v.DegradedSources = append(v.DegradedSources, p.Source)
 		}
 		partSDTDs = append(partSDTDs, res.SDTD)
 		if res.NonTight {
@@ -261,7 +323,7 @@ func (m *Mediator) DefineUnionView(name string, parts []ViewPart) (*View, error)
 		return nil, fmt.Errorf("mediator: view %s: %v", name, err)
 	}
 	v.SDTD = union
-	plain, events, err := union.Merge()
+	plain, events, err := union.MergeBudget(bud)
 	if err != nil {
 		return nil, fmt.Errorf("mediator: view %s: %v", name, err)
 	}
@@ -271,7 +333,16 @@ func (m *Mediator) DefineUnionView(name string, parts []ViewPart) (*View, error)
 		}
 	}
 	v.DTD = plain
+	if ex := bud.Exhausted(); ex != nil && !v.Degraded {
+		// The per-part inferences finished but the final merge degraded.
+		v.Degraded = true
+		v.DegradedReason = ex.Error()
+	}
 	m.views[name] = v
+	if v.Degraded {
+		m.stats.add(&m.stats.degradedViews, 1)
+		m.stats.add(&m.stats.budgetExhaustions, 1)
+	}
 	return v, nil
 }
 
@@ -305,26 +376,36 @@ func (m *Mediator) Views() []string {
 // an Invalidate — is returned to its callers but never written back to the
 // cache.
 func (m *Mediator) Materialize(ctx context.Context, viewName string) (*xmlmodel.Document, error) {
+	doc, _, err := m.MaterializeInfo(ctx, viewName)
+	return doc, err
+}
+
+// MaterializeInfo is Materialize plus a report of how the materialization
+// went: a view over a breaker-open source (see BreakerSource) is served
+// without that source's parts — degraded availability instead of a failed
+// view — and the info says so. Degraded documents are never cached, so the
+// first materialization after the breaker closes is complete again.
+func (m *Mediator) MaterializeInfo(ctx context.Context, viewName string) (*xmlmodel.Document, *MaterializeInfo, error) {
 	m.mu.Lock()
 	if doc, ok := m.matCache[viewName]; ok {
 		m.mu.Unlock()
 		m.stats.add(&m.stats.cacheHits, 1)
-		return doc, nil
+		return doc, &MaterializeInfo{}, nil
 	}
 	if c, ok := m.inflight[viewName]; ok {
 		m.mu.Unlock()
 		m.stats.add(&m.stats.dedups, 1)
 		select {
 		case <-c.done:
-			return c.doc, c.err
+			return c.doc, c.info, c.err
 		case <-ctx.Done():
-			return nil, ctx.Err()
+			return nil, nil, ctx.Err()
 		}
 	}
 	v, ok := m.views[viewName]
 	if !ok {
 		m.mu.Unlock()
-		return nil, fmt.Errorf("mediator: %w %s", ErrUnknownView, viewName)
+		return nil, nil, fmt.Errorf("mediator: %w %s", ErrUnknownView, viewName)
 	}
 	wrappers := make([]Wrapper, len(v.Parts))
 	for i, p := range v.Parts {
@@ -336,21 +417,25 @@ func (m *Mediator) Materialize(ctx context.Context, viewName string) (*xmlmodel.
 
 	m.stats.add(&m.stats.cacheMisses, 1)
 	start := time.Now()
-	doc, err := m.evaluate(ctx, v, wrappers)
+	doc, info, err := m.evaluate(ctx, v, wrappers)
 	m.stats.recordMaterialize(viewName, time.Since(start))
+	if err == nil && info.Degraded {
+		m.stats.add(&m.stats.degradedMaterializations, 1)
+	}
 
-	call.doc, call.err = doc, err
+	call.doc, call.info, call.err = doc, info, err
 	stale := false
 	m.mu.Lock()
 	// The entry may already have been detached by Invalidate; only remove
-	// it when it is still ours, and only cache results from the current
-	// generation (the stale write-back guard).
+	// it when it is still ours, and only cache complete results from the
+	// current generation (the stale write-back guard; degraded documents
+	// must not outlive the outage that shaped them).
 	if m.inflight[viewName] == call {
 		delete(m.inflight, viewName)
 	}
-	if err == nil && call.gen == m.gen {
+	if err == nil && !info.Degraded && call.gen == m.gen {
 		m.matCache[viewName] = doc
-	} else if err == nil {
+	} else if err == nil && !info.Degraded {
 		stale = true
 	}
 	m.mu.Unlock()
@@ -358,19 +443,23 @@ func (m *Mediator) Materialize(ctx context.Context, viewName string) (*xmlmodel.
 	if stale {
 		m.stats.add(&m.stats.staleDiscards, 1)
 	}
-	return doc, err
+	return doc, info, err
 }
 
 // evaluate runs the view's parts concurrently — each against its own
 // source — and concatenates the results in part order, so the view
 // document is deterministic regardless of scheduling. The first part
-// failure cancels the sibling fetches.
-func (m *Mediator) evaluate(ctx context.Context, v *View, wrappers []Wrapper) (*xmlmodel.Document, error) {
+// failure cancels the sibling fetches — except a breaker-open rejection
+// (ErrBreakerOpen), which drops just that source's parts and lets the
+// siblings complete: a dead source degrades the view, it does not take it
+// down.
+func (m *Mediator) evaluate(ctx context.Context, v *View, wrappers []Wrapper) (*xmlmodel.Document, *MaterializeInfo, error) {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	type partResult struct {
 		children []*xmlmodel.Element
 		err      error
+		dropped  bool
 	}
 	results := make([]partResult, len(v.Parts))
 	var wg sync.WaitGroup
@@ -380,6 +469,10 @@ func (m *Mediator) evaluate(ctx context.Context, v *View, wrappers []Wrapper) (*
 			defer wg.Done()
 			p := v.Parts[i]
 			doc, err := wrappers[i].Fetch(ctx)
+			if errors.Is(err, ErrBreakerOpen) {
+				results[i].dropped = true
+				return
+			}
 			if err != nil {
 				results[i].err = fmt.Errorf("mediator: fetching %s: %w", p.Source, err)
 				cancel() // abandon sibling fetches: the view cannot complete
@@ -412,13 +505,20 @@ func (m *Mediator) evaluate(ctx context.Context, v *View, wrappers []Wrapper) (*
 		}
 	}
 	if firstErr != nil {
-		return nil, firstErr
+		return nil, nil, firstErr
 	}
+	info := &MaterializeInfo{}
 	root := &xmlmodel.Element{Name: v.Name}
-	for _, r := range results {
+	for i, r := range results {
+		if r.dropped {
+			info.Degraded = true
+			info.DegradedSources = append(info.DegradedSources, v.Parts[i].Source)
+			continue
+		}
 		root.Children = append(root.Children, r.children...)
 	}
-	return &xmlmodel.Document{DocType: v.Name, Root: root}, nil
+	sort.Strings(info.DegradedSources)
+	return &xmlmodel.Document{DocType: v.Name, Root: root}, info, nil
 }
 
 // Invalidate drops the materialization cache (e.g. after a source change).
@@ -461,10 +561,12 @@ func (m *Mediator) Query(ctx context.Context, viewName string, q *xmas.Query) (*
 		stats.SimplifierError = serr.Error()
 		m.stats.add(&m.stats.simplifierErrors, 1)
 	}
-	doc, err := m.Materialize(ctx, viewName)
+	doc, info, err := m.MaterializeInfo(ctx, viewName)
 	if err != nil {
 		return nil, nil, err
 	}
+	stats.Degraded = info.Degraded
+	stats.DegradedSources = info.DegradedSources
 	res, err := engine.Eval(sq, doc)
 	if err != nil {
 		return nil, nil, err

@@ -46,6 +46,22 @@ type Stats struct {
 	// wrappers that expose a RetryCounter (HTTPSource).
 	Retries int64 `json:"retries"`
 
+	// DegradedViews counts view definitions whose DTD inference exhausted
+	// its budget and registered a sound-but-looser DTD;
+	// BudgetExhaustions counts budget-exhaustion events observed by the
+	// mediator (currently one per degraded view definition).
+	DegradedViews     int64 `json:"degraded_views"`
+	BudgetExhaustions int64 `json:"budget_exhaustions"`
+	// DegradedMaterializations counts materializations served without the
+	// parts of breaker-open sources (partial, uncached view documents).
+	DegradedMaterializations int64 `json:"degraded_materializations"`
+
+	// BreakerTrips / BreakerRejections sum the circuit-breaker counters of
+	// all registered wrappers that expose a BreakerCounter (BreakerSource):
+	// transitions to the open state, and fetches rejected while open.
+	BreakerTrips      int64 `json:"breaker_trips"`
+	BreakerRejections int64 `json:"breaker_rejections"`
+
 	// AutomataCache snapshots the process-wide compiled-automata cache
 	// (internal/automata/cache) that backs every content-model compilation
 	// and language decision: DFA compilations for validation, containment
@@ -66,6 +82,7 @@ type statsCounters struct {
 	cacheHits, cacheMisses, dedups, staleDiscards, invalidations int64
 	simplifierPruned, simplifierDropped, simplifierSkips         int64
 	simplifierErrors                                             int64
+	degradedViews, budgetExhaustions, degradedMaterializations   int64
 	views                                                        map[string]*ViewStats
 }
 
@@ -119,17 +136,20 @@ func (m *Mediator) Stats() Stats {
 	s := &m.stats
 	s.mu.Lock()
 	out := Stats{
-		CacheHits:          s.cacheHits,
-		CacheMisses:        s.cacheMisses,
-		SingleflightDedups: s.dedups,
-		StaleDiscards:      s.staleDiscards,
-		Invalidations:      s.invalidations,
-		SimplifierPruned:   s.simplifierPruned,
-		SimplifierDropped:  s.simplifierDropped,
-		SimplifierSkips:    s.simplifierSkips,
-		SimplifierErrors:   s.simplifierErrors,
-		AutomataCache:      automata.CacheStats(),
-		Views:              make(map[string]ViewStats, len(s.views)),
+		CacheHits:                s.cacheHits,
+		CacheMisses:              s.cacheMisses,
+		SingleflightDedups:       s.dedups,
+		StaleDiscards:            s.staleDiscards,
+		Invalidations:            s.invalidations,
+		SimplifierPruned:         s.simplifierPruned,
+		SimplifierDropped:        s.simplifierDropped,
+		SimplifierSkips:          s.simplifierSkips,
+		SimplifierErrors:         s.simplifierErrors,
+		DegradedViews:            s.degradedViews,
+		BudgetExhaustions:        s.budgetExhaustions,
+		DegradedMaterializations: s.degradedMaterializations,
+		AutomataCache:            automata.CacheStats(),
+		Views:                    make(map[string]ViewStats, len(s.views)),
 	}
 	for name, vs := range s.views {
 		out.Views[name] = *vs
@@ -145,6 +165,10 @@ func (m *Mediator) Stats() Stats {
 	for _, w := range wrappers {
 		if rc, ok := w.(RetryCounter); ok {
 			out.Retries += rc.Retries()
+		}
+		if bc, ok := w.(BreakerCounter); ok {
+			out.BreakerTrips += bc.BreakerTrips()
+			out.BreakerRejections += bc.BreakerRejections()
 		}
 	}
 	return out

@@ -411,9 +411,55 @@ func Map(e Expr, f func(Name) Expr) Expr {
 	panic(fmt.Sprintf("regex: unknown node %T", e))
 }
 
-// Equal reports syntactic equality of two expressions.
+// Equal reports syntactic equality of two expressions. It compares
+// structurally, without rendering: the simplifier calls Equal quadratically
+// over alternative lists (and once per fixpoint round on the whole
+// expression), so on the big disjunctions-of-interleavings that refinement
+// produces, string-based comparison dominates whole-inference runtime.
 func Equal(a, b Expr) bool {
-	return a.String() == b.String()
+	switch va := a.(type) {
+	case Empty:
+		_, ok := b.(Empty)
+		return ok
+	case Fail:
+		_, ok := b.(Fail)
+		return ok
+	case Atom:
+		vb, ok := b.(Atom)
+		return ok && va.Name == vb.Name
+	case Star:
+		vb, ok := b.(Star)
+		return ok && Equal(va.Sub, vb.Sub)
+	case Plus:
+		vb, ok := b.(Plus)
+		return ok && Equal(va.Sub, vb.Sub)
+	case Opt:
+		vb, ok := b.(Opt)
+		return ok && Equal(va.Sub, vb.Sub)
+	case Concat:
+		vb, ok := b.(Concat)
+		if !ok || len(va.Items) != len(vb.Items) {
+			return false
+		}
+		for i := range va.Items {
+			if !Equal(va.Items[i], vb.Items[i]) {
+				return false
+			}
+		}
+		return true
+	case Alt:
+		vb, ok := b.(Alt)
+		if !ok || len(va.Items) != len(vb.Items) {
+			return false
+		}
+		for i := range va.Items {
+			if !Equal(va.Items[i], vb.Items[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	panic(fmt.Sprintf("regex: unknown node %T", a))
 }
 
 // Enumerate returns up to limit words of L(e) with length at most maxLen,

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"repro/internal/automata"
+	"repro/internal/budget"
 	"repro/internal/dtd"
 	"repro/internal/regex"
 )
@@ -21,6 +22,15 @@ import (
 // split classes whose members' types differ as languages when every atom is
 // rewritten to its class representative; repeat to fixpoint.
 func (s *SDTD) Normalize() *SDTD {
+	return s.NormalizeBudget(nil)
+}
+
+// NormalizeBudget is Normalize under a resource budget. Exhaustion
+// degrades rather than errors: an equivalence check that cannot complete
+// treats the two specializations as distinct (they are simply not
+// collapsed — a larger but equally correct s-DTD), and content-model
+// reduction falls back to syntactic simplification.
+func (s *SDTD) NormalizeBudget(bud *budget.Budget) *SDTD {
 	names := s.Names()
 	// class representative for each name; start: coarsest plausible
 	// partition keyed by (base, kind).
@@ -72,7 +82,12 @@ func (s *SDTD) Normalize() *SDTD {
 			base := rewrite(s.Types[r].Model)
 			var stay, leave []Name
 			for _, n := range members {
-				if n == r || automata.Equivalent(base, rewrite(s.Types[n].Model)) {
+				same := n == r
+				if !same {
+					eq, err := automata.EquivalentBudget(base, rewrite(s.Types[n].Model), bud)
+					same = err == nil && eq
+				}
+				if same {
 					stay = append(stay, n)
 				} else {
 					leave = append(leave, n)
@@ -123,7 +138,7 @@ func (s *SDTD) Normalize() *SDTD {
 			continue
 		}
 		model := regex.Map(t.Model, func(m Name) regex.Expr { return regex.At(target(m)) })
-		out.Declare(tn, dtd.M(automata.Reduce(model)))
+		out.Declare(tn, dtd.M(automata.ReduceBudget(model, bud)))
 	}
 	return out
 }

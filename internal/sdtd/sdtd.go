@@ -22,6 +22,7 @@ import (
 	"strings"
 
 	"repro/internal/automata"
+	"repro/internal/budget"
 	"repro/internal/dtd"
 	"repro/internal/regex"
 	"repro/internal/xmlmodel"
@@ -170,6 +171,15 @@ func (e MergeEvent) String() string {
 // name. Merging a PCDATA specialization with an element-content
 // specialization is impossible in a plain DTD and yields an error.
 func (s *SDTD) Merge() (*dtd.DTD, []MergeEvent, error) {
+	return s.MergeBudget(nil)
+}
+
+// MergeBudget is Merge under a resource budget. Exhaustion degrades
+// rather than errors: content-model reduction falls back to the syntactic
+// simplification (language-preserving), and an image-equivalence check
+// that cannot complete conservatively reports the merge as Distinct —
+// claiming information *may* have been lost is sound, the reverse is not.
+func (s *SDTD) MergeBudget(bud *budget.Budget) (*dtd.DTD, []MergeEvent, error) {
 	out := dtd.New(s.Root.Base)
 	var events []MergeEvent
 	byBase := map[string][]Name{}
@@ -187,7 +197,7 @@ func (s *SDTD) Merge() (*dtd.DTD, []MergeEvent, error) {
 			if t.PCDATA {
 				out.Declare(base, dtd.PC())
 			} else {
-				out.Declare(base, dtd.M(automata.Reduce(regex.Image(t.Model))))
+				out.Declare(base, dtd.M(automata.ReduceBudget(regex.Image(t.Model), bud)))
 			}
 			continue
 		}
@@ -213,12 +223,13 @@ func (s *SDTD) Merge() (*dtd.DTD, []MergeEvent, error) {
 		}
 		distinct := false
 		for _, im := range images[1:] {
-			if !automata.Equivalent(images[0], im) {
+			eq, err := automata.EquivalentBudget(images[0], im, bud)
+			if err != nil || !eq {
 				distinct = true
 				break
 			}
 		}
-		out.Declare(base, dtd.M(automata.Reduce(regex.Or(images...))))
+		out.Declare(base, dtd.M(automata.ReduceBudget(regex.Or(images...), bud)))
 		events = append(events, MergeEvent{Base: base, Tags: tags, Distinct: distinct})
 	}
 	return out, events, nil

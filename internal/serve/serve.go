@@ -32,6 +32,7 @@ import (
 	"strings"
 
 	"repro/internal/browse"
+	"repro/internal/budget"
 	"repro/internal/dtd"
 	"repro/internal/infer"
 	"repro/internal/mediator"
@@ -83,7 +84,7 @@ func (h *Handler) listSources(w http.ResponseWriter, r *http.Request) {
 
 func (h *Handler) getView(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	doc, err := h.m.Materialize(r.Context(), name)
+	doc, info, err := h.m.MaterializeInfo(r.Context(), name)
 	if err != nil {
 		http.Error(w, err.Error(), statusFor(err))
 		return
@@ -93,8 +94,29 @@ func (h *Handler) getView(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), statusFor(err))
 		return
 	}
+	setDegradedHeaders(w, v, info)
 	w.Header().Set("Content-Type", "application/xml; charset=utf-8")
 	io.WriteString(w, mediatorMarshal(doc, v))
+}
+
+// setDegradedHeaders advertises degraded service on a view response:
+// X-Mix-Degraded is "true" whenever either the view's DTD inference was
+// budget-degraded (sound but loose, see internal/budget) or this
+// materialization dropped the parts of breaker-open sources; the companion
+// headers say why. Clients that care about tightness or completeness can
+// react; everyone else still gets a well-formed, DTD-sound document.
+func setDegradedHeaders(w http.ResponseWriter, v *mediator.View, info *mediator.MaterializeInfo) {
+	degraded := v.Degraded || (info != nil && info.Degraded)
+	if !degraded {
+		return
+	}
+	w.Header().Set("X-Mix-Degraded", "true")
+	if v.Degraded && v.DegradedReason != "" {
+		w.Header().Set("X-Mix-Degraded-Reason", v.DegradedReason)
+	}
+	if info != nil && info.Degraded {
+		w.Header().Set("X-Mix-Degraded-Sources", strings.Join(info.DegradedSources, ","))
+	}
 }
 
 // mediatorMarshal inlines the inferred DTD so clients receive a valid
@@ -197,6 +219,12 @@ func (h *Handler) postQuery(w http.ResponseWriter, r *http.Request) {
 	if stats.SimplifierError != "" {
 		w.Header().Set("X-Mix-Simplifier-Error", stats.SimplifierError)
 	}
+	if v, verr := h.m.View(name); verr == nil {
+		setDegradedHeaders(w, v, &mediator.MaterializeInfo{
+			Degraded:        stats.Degraded,
+			DegradedSources: stats.DegradedSources,
+		})
+	}
 	io.WriteString(w, xmlmodel.MarshalElement(doc.Root, 2))
 }
 
@@ -227,10 +255,20 @@ func (h *Handler) postInfer(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	res, err := infer.Infer(q, src)
+	// Inference-as-a-service runs under the mediator's configured budget:
+	// a hostile or pathological posted DTD must not pin a serving CPU.
+	var bud *budget.Budget
+	if limits := h.m.InferenceBudget(); limits != (budget.Limits{}) {
+		bud = budget.New(limits)
+	}
+	res, err := infer.InferContext(budget.NewContext(r.Context(), bud), q, src)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
 		return
+	}
+	if res.Degraded {
+		w.Header().Set("X-Mix-Degraded", "true")
+		w.Header().Set("X-Mix-Degraded-Reason", res.DegradedReason)
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintln(w, "-- specialized view DTD")
@@ -238,6 +276,10 @@ func (h *Handler) postInfer(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "-- plain view DTD")
 	fmt.Fprintln(w, res.DTD)
 	fmt.Fprintf(w, "-- classification: %s\n", res.Class)
+	if res.Degraded {
+		fmt.Fprintf(w, "-- degraded: %s (sound but not tightest; loose names: %s)\n",
+			res.DegradedReason, strings.Join(res.DegradedNames, ", "))
+	}
 	for _, ev := range res.Merges {
 		if ev.Distinct {
 			fmt.Fprintf(w, "-- warning: %s\n", ev)

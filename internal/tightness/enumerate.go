@@ -5,9 +5,11 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/budget"
 	"repro/internal/dtd"
 	"repro/internal/engine"
 	"repro/internal/regex"
@@ -21,29 +23,47 @@ import (
 // elements, up to `limit` classes, deterministically ordered. PCDATA values
 // are canonicalized to "s", so each returned document is one class.
 func EnumerateClasses(d *dtd.DTD, maxElems, limit int) []*xmlmodel.Element {
-	return EnumerateClassesContext(context.Background(), d, maxElems, limit)
+	out, err := EnumerateClassesContext(context.Background(), d, maxElems, limit)
+	if err != nil {
+		// Background context cannot be cancelled, so the only error source
+		// is a recovered worker panic — re-raise it to preserve the legacy
+		// crash-on-bug behavior of this convenience entry point.
+		panic(err)
+	}
+	return out
 }
 
-// EnumerateClassesContext is EnumerateClasses with cancellation: the
-// per-word subtree combinations at the root — the expensive part of the
-// enumeration — run on up to GOMAXPROCS goroutines, and a cancelled
-// context stops scheduling new words. The result is byte-identical to the
-// serial enumeration: each word's combinations are computed with the full
-// limit and the ordered concatenation is truncated, which yields the same
-// prefix the serial limit-threading would (the enumeration order of
-// combine/trees never depends on the limit — the limit only truncates).
-func EnumerateClassesContext(ctx context.Context, d *dtd.DTD, maxElems, limit int) []*xmlmodel.Element {
+// EnumerateClassesContext is EnumerateClasses with cancellation and
+// budgeting: the per-word subtree combinations at the root — the expensive
+// part of the enumeration — run on up to GOMAXPROCS goroutines, and a
+// cancelled context stops scheduling new words and returns the context's
+// error. A panic in a worker is recovered and returned as an error naming
+// the word being expanded. The result is byte-identical to the serial
+// enumeration: each word's combinations are computed with the full limit
+// and the ordered concatenation is truncated, which yields the same prefix
+// the serial limit-threading would (the enumeration order of combine/trees
+// never depends on the limit — the limit only truncates).
+//
+// A budget attached to the context (budget.NewContext) caps the number of
+// classes produced: its class counter is charged per emitted class, and
+// exhaustion truncates the enumeration — a shorter class list, not an
+// error, mirroring what a smaller `limit` would return.
+func EnumerateClassesContext(ctx context.Context, d *dtd.DTD, maxElems, limit int) ([]*xmlmodel.Element, error) {
+	bud := budget.FromContext(ctx)
 	e := &enumerator{d: d, minSize: minSizes(d)}
 	name := d.Root
 	if limit <= 0 || e.minSize[name] < 0 || e.minSize[name] > maxElems {
-		return nil
+		return nil, nil
 	}
 	t := d.Types[name]
 	if t.PCDATA {
-		return []*xmlmodel.Element{xmlmodel.NewText(name, "s")}
+		if bud.ChargeClasses(1) != nil {
+			return nil, nil
+		}
+		return []*xmlmodel.Element{xmlmodel.NewText(name, "s")}, nil
 	}
-	budget := maxElems - 1
-	words := regex.Enumerate(t.Model, budget, limit*8)
+	sizeBudget := maxElems - 1
+	words := regex.Enumerate(t.Model, sizeBudget, limit*8)
 	// Filter out words whose minimal realization cannot fit (cheap, serial),
 	// then fan the per-word combination search out across goroutines. The
 	// enumerator below is read-only, so workers share it safely.
@@ -63,58 +83,104 @@ func EnumerateClassesContext(ctx context.Context, d *dtd.DTD, maxElems, limit in
 			}
 			need += m
 		}
-		if ok && need <= budget {
+		if ok && need <= sizeBudget {
 			jobs = append(jobs, &wordJob{w: w})
 		}
 	}
-	fanOut(ctx, len(jobs), func(i int) {
-		jobs[i].kids = e.combine(jobs[i].w, budget, limit)
-	})
+	label := func(i int) string {
+		parts := make([]string, len(jobs[i].w))
+		for k, n := range jobs[i].w {
+			parts[k] = n.String()
+		}
+		return strings.Join(parts, " ")
+	}
+	if err := fanOut(ctx, len(jobs), label, func(i int) {
+		jobs[i].kids = e.combine(jobs[i].w, sizeBudget, limit)
+	}); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	var out []*xmlmodel.Element
 	for _, j := range jobs {
 		for _, kids := range j.kids {
+			if bud.ChargeClasses(1) != nil {
+				return out, nil
+			}
 			out = append(out, xmlmodel.NewElement(name, kids...))
 			if len(out) >= limit {
-				return out
+				return out, nil
 			}
 		}
 	}
-	return out
+	return out, nil
 }
 
 // fanOut runs f(0..n-1) on up to GOMAXPROCS goroutines; a cancelled context
-// stops new items from starting. Single-processor (or single-item) runs
-// degrade to a plain serial loop.
-func fanOut(ctx context.Context, n int, f func(i int)) {
+// stops new items from starting. A panic inside f is recovered and returned
+// as an error carrying label(i) — the offending work item — so one bad
+// input fails the call instead of crashing the process; remaining items are
+// not started. Single-processor (or single-item) runs degrade to a plain
+// serial loop.
+func fanOut(ctx context.Context, n int, label func(i int) string, f func(i int)) error {
+	var (
+		panicMu  sync.Mutex
+		panicErr error
+	)
+	run := func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				panicMu.Lock()
+				if panicErr == nil {
+					panicErr = fmt.Errorf("tightness: panic expanding %q: %v", label(i), r)
+				}
+				panicMu.Unlock()
+			}
+		}()
+		f(i)
+	}
+	stopped := func() bool {
+		if ctx.Err() != nil {
+			return true
+		}
+		panicMu.Lock()
+		p := panicErr
+		panicMu.Unlock()
+		return p != nil
+	}
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			if ctx.Err() != nil {
-				return
+			if stopped() {
+				break
 			}
-			f(i)
+			run(i)
 		}
-		return
-	}
-	var next int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(atomic.AddInt64(&next, 1)) - 1
-				if i >= n || ctx.Err() != nil {
-					return
+	} else {
+		var next int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(atomic.AddInt64(&next, 1)) - 1
+					if i >= n || stopped() {
+						return
+					}
+					run(i)
 				}
-				f(i)
-			}
-		}()
+			}()
+		}
+		wg.Wait()
 	}
-	wg.Wait()
+	panicMu.Lock()
+	defer panicMu.Unlock()
+	return panicErr
 }
 
 // enumerator holds the read-only state of one enumeration; trees and

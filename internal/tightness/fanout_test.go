@@ -1,0 +1,58 @@
+package tightness
+
+import (
+	"context"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// TestFanOutRecoversPanicWithLabel: a panic in a class-expansion worker
+// must surface as an error naming the class being expanded, not crash the
+// process.
+func TestFanOutRecoversPanicWithLabel(t *testing.T) {
+	labels := []string{"article author", "article title", "article journal"}
+	err := fanOut(context.Background(), len(labels),
+		func(i int) string { return labels[i] },
+		func(i int) {
+			if i == 1 {
+				panic("index out of range")
+			}
+		})
+	if err == nil {
+		t.Fatal("worker panic must be returned as an error")
+	}
+	if !strings.Contains(err.Error(), `"article title"`) {
+		t.Errorf("error %q must name the panicking expansion", err)
+	}
+	if !strings.Contains(err.Error(), "index out of range") {
+		t.Errorf("error %q must carry the panic value", err)
+	}
+}
+
+// TestFanOutNoPanicNoError: the happy path runs every item and returns
+// nil.
+func TestFanOutNoPanicNoError(t *testing.T) {
+	var ran int64
+	err := fanOut(context.Background(), 50,
+		func(i int) string { return "c" },
+		func(i int) { atomic.AddInt64(&ran, 1) })
+	if err != nil {
+		t.Fatalf("fanOut = %v, want nil", err)
+	}
+	if ran != 50 {
+		t.Fatalf("ran %d items, want 50", ran)
+	}
+}
+
+// TestFanOutStopsOnCancel: a cancelled context short-circuits the sweep.
+func TestFanOutStopsOnCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran int64
+	_ = fanOut(ctx, 100, func(i int) string { return "c" },
+		func(i int) { atomic.AddInt64(&ran, 1) })
+	if n := atomic.LoadInt64(&ran); n == 100 {
+		t.Error("cancelled fan-out must not run the full workload")
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/automata"
+	"repro/internal/budget"
 	"repro/internal/dtd"
 	"repro/internal/engine"
 	"repro/internal/gen"
@@ -69,37 +70,65 @@ func (w *Witness) String() string {
 // (declared-but-unrealizable names cannot occur in any finite document and
 // must not produce spurious witnesses).
 func Tighter(d1, d2 *dtd.DTD) (bool, *Witness) {
+	ok, w, err := TighterBudget(d1, d2, nil)
+	if err != nil {
+		// Impossible: a nil budget never exhausts.
+		panic(err)
+	}
+	return ok, w
+}
+
+// TighterBudget is Tighter under a resource budget (see internal/budget):
+// the per-name DFA compilations and containment checks charge the budget,
+// and exhaustion returns an error — the comparison is a decision, so
+// unlike inference it cannot soundly degrade; callers treat "could not
+// decide within budget" explicitly (dtdcheck exits with a distinct code).
+func TighterBudget(d1, d2 *dtd.DTD, bud *budget.Budget) (bool, *Witness, error) {
 	real1 := d1.Realizable()
 	if !real1[d1.Root] {
 		// No document satisfies d1 at all; vacuously tighter.
-		return true, nil
+		return true, nil, nil
 	}
 	if d1.Root != d2.Root {
-		return false, &Witness{Reason: fmt.Sprintf("document types differ: %s vs %s", d1.Root, d2.Root)}
+		return false, &Witness{Reason: fmt.Sprintf("document types differ: %s vs %s", d1.Root, d2.Root)}, nil
 	}
-	for _, n := range reachableRealizable(d1, real1) {
+	reach, err := reachableRealizable(d1, real1, bud)
+	if err != nil {
+		return false, nil, err
+	}
+	for _, n := range reach {
 		t1 := d1.Types[n]
 		t2, declared := d2.Types[n]
 		if !declared {
-			return false, &Witness{Name: n, Reason: fmt.Sprintf("%s is not declared in the looser DTD", n)}
+			return false, &Witness{Name: n, Reason: fmt.Sprintf("%s is not declared in the looser DTD", n)}, nil
 		}
 		if t1.PCDATA != t2.PCDATA {
-			return false, &Witness{Name: n, Reason: fmt.Sprintf("%s kind mismatch (PCDATA vs element content)", n)}
+			return false, &Witness{Name: n, Reason: fmt.Sprintf("%s kind mismatch (PCDATA vs element content)", n)}, nil
 		}
 		if t1.PCDATA {
 			continue
 		}
 		alpha := unionAlpha(t1.Model, t2.Model)
-		a1 := automata.CompiledAlphabet(t1.Model, alpha).
-			RestrictTo(func(m regex.Name) bool { return real1[m.Base] })
-		a2 := automata.CompiledAlphabet(t2.Model, alpha)
-		if !automata.ContainsDFA(a1, a2) {
+		a1raw, err := automata.CompiledAlphabetBudget(t1.Model, alpha, bud)
+		if err != nil {
+			return false, nil, err
+		}
+		a1 := a1raw.RestrictTo(func(m regex.Name) bool { return real1[m.Base] })
+		a2, err := automata.CompiledAlphabetBudget(t2.Model, alpha, bud)
+		if err != nil {
+			return false, nil, err
+		}
+		contained, err := automata.ContainsDFABudget(a1, a2, bud)
+		if err != nil {
+			return false, nil, err
+		}
+		if !contained {
 			w := witnessWord(a1, a2)
 			return false, &Witness{Name: n, Word: w,
-				Reason: "allowed by the tighter candidate, rejected by the other"}
+				Reason: "allowed by the tighter candidate, rejected by the other"}, nil
 		}
 	}
-	return true, nil
+	return true, nil, nil
 }
 
 // Equivalent reports whether the two DTDs describe exactly the same set of
@@ -117,7 +146,7 @@ func StrictlyTighter(d1, d2 *dtd.DTD) bool {
 	return a && !b
 }
 
-func reachableRealizable(d *dtd.DTD, real map[string]bool) []string {
+func reachableRealizable(d *dtd.DTD, real map[string]bool, bud *budget.Budget) ([]string, error) {
 	var out []string
 	seen := map[string]bool{d.Root: true}
 	work := []string{d.Root}
@@ -136,7 +165,11 @@ func reachableRealizable(d *dtd.DTD, real map[string]bool) []string {
 		// realizable names syntactically present — is exact here because
 		// any realizable name in some accepted word of the restricted
 		// model does occur in a document.
-		restricted := automata.FromExpr(t.Model).RestrictTo(func(m regex.Name) bool { return real[m.Base] })
+		dfa, err := automata.FromExprBudget(t.Model, bud)
+		if err != nil {
+			return nil, err
+		}
+		restricted := dfa.RestrictTo(func(m regex.Name) bool { return real[m.Base] })
 		for _, m := range regex.Names(t.Model) {
 			if !real[m.Base] || seen[m.Base] {
 				continue
@@ -147,7 +180,7 @@ func reachableRealizable(d *dtd.DTD, real map[string]bool) []string {
 			}
 		}
 	}
-	return out
+	return out, nil
 }
 
 // occursInLanguage reports whether some accepted word of the DFA contains
@@ -274,6 +307,48 @@ func CheckSoundness(q *xmas.Query, src *dtd.DTD, viewDTD *dtd.DTD, viewSDTD *sdt
 	// cache, which is concurrency-safe — all workers share the view
 	// schemas directly (and share their compiled automata with every other
 	// validation in the process).
+	// checkOne validates one trial; a panic anywhere in evaluation or
+	// validation is recovered and reported as an error naming the trial's
+	// document root, so one pathological input fails the check instead of
+	// crashing the process.
+	checkOne := func(i int) (stop bool) {
+		doc := docs[i]
+		defer func() {
+			if r := recover(); r != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = fmt.Errorf("tightness: panic checking trial %d (root element %q): %v", i, doc.Root.Name, r)
+				}
+				mu.Unlock()
+				stop = true
+			}
+		}()
+		view, err := engine.Eval(q, doc)
+		if err != nil {
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = fmt.Errorf("tightness: eval failed on trial %d: %v", i, err)
+			}
+			mu.Unlock()
+			return true
+		}
+		var verr error
+		if viewDTD != nil {
+			verr = viewDTD.Validate(view)
+		}
+		if verr == nil && viewSDTD != nil {
+			verr = viewSDTD.Satisfies(view)
+		}
+		if verr != nil {
+			mu.Lock()
+			rep.Violations++
+			if rep.First == "" {
+				rep.First = fmt.Sprintf("violation on trial %d: %v\nsource: %s", i, verr, xmlmodel.MarshalElement(doc.Root, -1))
+			}
+			mu.Unlock()
+		}
+		return false
+	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -283,30 +358,8 @@ func CheckSoundness(q *xmas.Query, src *dtd.DTD, viewDTD *dtd.DTD, viewSDTD *sdt
 				if i >= trials {
 					return
 				}
-				doc := docs[i]
-				view, err := engine.Eval(q, doc)
-				if err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = fmt.Errorf("tightness: eval failed on trial %d: %v", i, err)
-					}
-					mu.Unlock()
+				if checkOne(i) {
 					return
-				}
-				var verr error
-				if viewDTD != nil {
-					verr = viewDTD.Validate(view)
-				}
-				if verr == nil && viewSDTD != nil {
-					verr = viewSDTD.Satisfies(view)
-				}
-				if verr != nil {
-					mu.Lock()
-					rep.Violations++
-					if rep.First == "" {
-						rep.First = fmt.Sprintf("violation on trial %d: %v\nsource: %s", i, verr, xmlmodel.MarshalElement(doc.Root, -1))
-					}
-					mu.Unlock()
 				}
 			}
 		}()

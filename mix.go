@@ -28,6 +28,7 @@
 package mix
 
 import (
+	"context"
 	"io"
 	"net/http"
 	"time"
@@ -36,6 +37,7 @@ import (
 	"repro/internal/automata/cache"
 	"repro/internal/bench"
 	"repro/internal/browse"
+	"repro/internal/budget"
 	"repro/internal/dtd"
 	"repro/internal/engine"
 	"repro/internal/gen"
@@ -101,7 +103,57 @@ type (
 	DataGuide = oem.DataGuide
 	// OEMObject is an Object Exchange Model object (the TSIMMIS model).
 	OEMObject = oem.Object
+	// BudgetLimits bounds inference-side automata work (wall-clock
+	// deadline, DFA states, enumeration classes, refine steps); zero
+	// fields are unlimited. Exhaustion degrades inference to a
+	// sound-but-looser view DTD instead of failing (see InferResult's
+	// Degraded fields).
+	BudgetLimits = budget.Limits
+	// Budget is a live, chargeable resource budget built from BudgetLimits.
+	Budget = budget.Budget
+	// MaterializeInfo reports whether a materialization dropped the parts
+	// of breaker-open sources (degraded availability).
+	MaterializeInfo = mediator.MaterializeInfo
+	// BreakerOptions configures a per-source circuit breaker.
+	BreakerOptions = mediator.BreakerOptions
+	// Fault is one scripted misbehavior of a fault-injecting source.
+	Fault = mediator.Fault
+	// WireFault is one scripted wire-level fault of a faulty HTTP handler.
+	WireFault = mediator.WireFault
 )
+
+// NewBudget builds a budget from limits; attach it to a context with
+// BudgetContext and pass that to InferWithContext-style entry points.
+func NewBudget(l BudgetLimits) *Budget { return budget.New(l) }
+
+// BudgetContext attaches a budget to a context for budget-aware calls
+// (infer.InferContext, tightness.EnumerateClassesContext).
+func BudgetContext(ctx context.Context, b *Budget) context.Context {
+	return budget.NewContext(ctx, b)
+}
+
+// NewBreakerSource guards a source with a circuit breaker: after
+// consecutive fetch failures the source fails fast (ErrBreakerOpen) and
+// union views are served degraded — without its parts — until a
+// cooldown-spaced probe succeeds.
+func NewBreakerSource(w Wrapper, opts BreakerOptions) Wrapper {
+	return mediator.NewBreakerSource(w, opts)
+}
+
+// NewFaultSource wraps a source with a deterministic scripted fault
+// sequence (errors, latency) for resilience testing.
+func NewFaultSource(w Wrapper, script ...Fault) Wrapper {
+	return mediator.NewFaultSource(w, script...)
+}
+
+// NewFaultyHandler wraps an HTTP handler with scripted wire faults (5xx
+// bursts, delays, mid-body truncation, payload corruption).
+func NewFaultyHandler(h http.Handler, script ...WireFault) http.Handler {
+	return mediator.NewFaultyHandler(h, script...)
+}
+
+// ErrBreakerOpen is returned by breaker-guarded sources while open.
+var ErrBreakerOpen = mediator.ErrBreakerOpen
 
 // Classification constants.
 const (
@@ -157,6 +209,13 @@ func ParseContentModel(input string) (Expr, error) { return regex.Parse(input) }
 // view over the source DTD (Section 4).
 func Infer(q *Query, src *DTD) (*InferResult, error) { return infer.Infer(q, src) }
 
+// InferContext is Infer with cancellation and resource budgeting: attach a
+// budget with BudgetContext and exhaustion degrades the result to a
+// sound-but-looser view DTD (InferResult.Degraded) instead of failing.
+func InferContext(ctx context.Context, q *Query, src *DTD) (*InferResult, error) {
+	return infer.InferContext(ctx, q, src)
+}
+
 // NaiveInfer is the unrefined baseline of Example 3.1.
 func NaiveInfer(q *Query, src *DTD) (*DTD, error) { return infer.NaiveInfer(q, src) }
 
@@ -182,6 +241,13 @@ func EvalElements(q *Query, doc *Document) ([]*Element, error) {
 // Tighter decides Definition 3.2: every document satisfying d1 satisfies
 // d2. The witness explains a negative answer.
 func Tighter(d1, d2 *DTD) (bool, *TightnessWitness) { return tightness.Tighter(d1, d2) }
+
+// TighterBudget is Tighter under a resource budget. The decision cannot
+// soundly degrade, so budget exhaustion returns an error ("could not
+// decide within budget") that callers must treat explicitly.
+func TighterBudget(d1, d2 *DTD, b *Budget) (bool, *TightnessWitness, error) {
+	return tightness.TighterBudget(d1, d2, b)
+}
 
 // EquivalentDTDs reports that two DTDs describe the same document set.
 func EquivalentDTDs(d1, d2 *DTD) bool { return tightness.Equivalent(d1, d2) }
