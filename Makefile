@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test vet race fault fuzz check bench bench-compare experiments cover clean
+.PHONY: all build test vet race fault fuzz check bench bench-compare experiments cover clean fmt ci
 
 all: build vet test
 
@@ -65,8 +65,34 @@ experiments:
 experiments-quick:
 	go run ./cmd/mixbench -quick
 
+# Coverage with a ratchet: the total must not fall below the checked-in
+# COVERAGE_BASELINE (percent). Raise the baseline when coverage genuinely
+# improves; never lower it to make a change pass.
+COVERPROFILE ?= /tmp/mix.cover
 cover:
-	go test -coverprofile=/tmp/mix.cover ./... && go tool cover -func=/tmp/mix.cover | tail -1
+	go test -coverprofile=$(COVERPROFILE) ./...
+	@total=$$(go tool cover -func=$(COVERPROFILE) | tail -1 | awk '{gsub(/%/, "", $$NF); print $$NF}'); \
+	floor=$$(cat COVERAGE_BASELINE); \
+	awk -v t="$$total" -v f="$$floor" 'BEGIN { \
+		if (t + 0 < f + 0) { printf "FAIL: coverage %.1f%% is below baseline %.1f%%\n", t, f; exit 1 } \
+		printf "coverage %.1f%% (baseline %.1f%%)\n", t, f }'
+
+# Rewrite every file gofmt would flag; `ci` only checks.
+fmt:
+	gofmt -l -w .
+
+# What the CI workflow runs, invocable locally before pushing: the gofmt
+# gate, tier-1 build/vet/test, the -race suite, the fault-injection
+# battery, and the coverage floor.
+ci:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+	$(MAKE) all
+	$(MAKE) race
+	$(MAKE) fault
+	$(MAKE) cover
 
 # The artifacts requested by the reproduction protocol.
 outputs:

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -23,6 +24,7 @@ import (
 	mix "repro"
 	"repro/internal/automata"
 	"repro/internal/budgetflag"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -31,6 +33,7 @@ func main() {
 	tighter := flag.Bool("tighter", false, "compare two DTD files given as arguments")
 	outline := flag.Bool("outline", false, "print the DTD (from -dtd) as an annotated structure tree and exit")
 	stats := flag.Bool("stats", false, "print compiled-automata cache counters to stderr on exit")
+	traceRun := flag.Bool("trace", false, "with -tighter: dump a span tree of the comparison (budget counters) to stderr")
 	limitsOf := budgetflag.Register(flag.CommandLine)
 	flag.Parse()
 	if *stats {
@@ -71,6 +74,26 @@ func main() {
 			// exhaustion is reported as "undecided" with a distinct exit
 			// status rather than a wrong answer.
 			bud = mix.NewBudget(limits)
+		}
+		if *traceRun {
+			// The comparison runs through budget charge sites, not through
+			// a context, so the root span observes the budget directly; an
+			// unlimited run gets a zero-limits budget that only counts.
+			if bud == nil {
+				bud = mix.NewBudget(mix.BudgetLimits{})
+			}
+			tracer := obs.NewTracer(1)
+			_, root := tracer.StartRequest(context.Background(), "dtdcheck.tighter", "")
+			bud.SetObserver(root)
+			dump := func() {
+				root.End()
+				for _, ts := range tracer.Traces(1) {
+					obs.WriteTrace(os.Stderr, ts)
+				}
+			}
+			defer dump()
+			prev := exit
+			exit = func(code int) { dump(); prev(code) }
 		}
 		ab, wab, err := mix.TighterBudget(a, b, bud)
 		if err != nil {

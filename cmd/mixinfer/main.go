@@ -22,6 +22,7 @@ import (
 	mix "repro"
 	"repro/internal/automata"
 	"repro/internal/budgetflag"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -31,6 +32,7 @@ func main() {
 	plainOnly := flag.Bool("plain-only", false, "print only the merged plain view DTD")
 	sdtdOnly := flag.Bool("sdtd-only", false, "print only the specialized view DTD")
 	stats := flag.Bool("stats", false, "print compiled-automata cache counters to stderr on exit")
+	traceRun := flag.Bool("trace", false, "dump the inference span tree (with budget counters) to stderr")
 	limitsOf := budgetflag.Register(flag.CommandLine)
 	flag.Parse()
 	if *dtdPath == "" || *queryPath == "" {
@@ -54,7 +56,19 @@ func main() {
 	if limits := limitsOf(); !limits.Unlimited() {
 		ctx = mix.BudgetContext(ctx, mix.NewBudget(limits))
 	}
+	var tracer *obs.Tracer
+	var root *obs.Span
+	if *traceRun {
+		tracer = obs.NewTracer(1)
+		ctx, root = tracer.StartRequest(ctx, "mixinfer", "")
+	}
 	res, err := mix.InferContext(ctx, q, src)
+	if root != nil {
+		root.End()
+		for _, ts := range tracer.Traces(1) {
+			obs.WriteTrace(os.Stderr, ts)
+		}
+	}
 	if err != nil {
 		fatal(err)
 	}

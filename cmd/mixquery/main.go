@@ -15,12 +15,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
 	mix "repro"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -31,6 +33,7 @@ func main() {
 	indent := flag.Int("indent", 2, "output indentation (negative = compact)")
 	validate := flag.Bool("validate", false, "infer the view DTD and validate the result against it")
 	explain := flag.Bool("explain", false, "print the DTD-aware explain plan to stderr before evaluating")
+	traceRun := flag.Bool("trace", false, "dump the run's span tree to stderr")
 	flag.Parse()
 	if *queryPath == "" {
 		fmt.Fprintln(os.Stderr, "mixquery: -query is required")
@@ -85,9 +88,29 @@ func main() {
 		fmt.Fprint(os.Stderr, plan)
 	}
 
+	ctx := context.Background()
+	var tracer *obs.Tracer
+	var root *obs.Span
+	if *traceRun {
+		tracer = obs.NewTracer(1)
+		ctx, root = tracer.StartRequest(ctx, "mixquery", "")
+	}
+	defer func() {
+		if root == nil {
+			return
+		}
+		root.End()
+		for _, ts := range tracer.Traces(1) {
+			obs.WriteTrace(os.Stderr, ts)
+		}
+	}()
+
 	run := q
 	if srcDTD != nil && !*noSimplify {
+		_, sspan := obs.StartSpan(ctx, "simplify")
 		sq, rep, err := mix.SimplifyQuery(q, srcDTD)
+		sspan.SetAttr(obs.Int("pruned", int64(rep.PrunedConditions)), obs.Int("dropped", int64(rep.DroppedNames)))
+		sspan.End()
 		if err != nil {
 			fatal(err)
 		}
@@ -102,7 +125,9 @@ func main() {
 		}
 		run = sq
 	}
+	_, espan := obs.StartSpan(ctx, "eval")
 	view, err := mix.Eval(run, doc)
+	espan.End()
 	if err != nil {
 		fatal(err)
 	}
@@ -110,7 +135,7 @@ func main() {
 		if srcDTD == nil {
 			fatal(fmt.Errorf("-validate requires a DTD (DOCTYPE subset or -dtd)"))
 		}
-		res, err := mix.Infer(q, srcDTD)
+		res, err := mix.InferContext(ctx, q, srcDTD)
 		if err != nil {
 			fatal(err)
 		}

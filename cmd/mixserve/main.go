@@ -10,13 +10,18 @@
 //	   -source cs=dept.xml -source bio=lab.xml \
 //	   -view cs:withJournals.xmas -view bio:prolific.xmas
 //
-// Endpoints: see internal/serve; serving counters are at /metrics (JSON)
-// and /debug/vars (expvar). The view DTDs are inferred at startup;
-// registration fails fast on invalid sources or non-inferable views.
+// Endpoints: see internal/serve; serving counters are at /metrics (JSON
+// by default, Prometheus text with ?format=prometheus), recent request
+// traces at /debug/trace, and process expvars at /debug/vars. The view
+// DTDs are inferred at startup; registration fails fast on invalid
+// sources or non-inferable views.
 //
 // The server is hardened for production use: read-header/read/write/idle
 // timeouts bound slow clients, and SIGINT/SIGTERM trigger a graceful
-// drain before exit.
+// drain before exit. Observability knobs: -log-level and -log-format
+// control the structured (slog) access/lifecycle logs, -trace-buffer
+// sizes the /debug/trace ring, and -pprof opt-in mounts the
+// net/http/pprof profiling endpoints under /debug/pprof/.
 package main
 
 import (
@@ -26,7 +31,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -36,6 +43,7 @@ import (
 	mix "repro"
 	"repro/internal/budgetflag"
 	"repro/internal/mediator"
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
@@ -48,11 +56,28 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	name := flag.String("name", "mix", "mediator name")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "graceful drain deadline on SIGINT/SIGTERM")
+	logLevel := flag.String("log-level", "info", "structured log level: debug, info, warn, error")
+	logFormat := flag.String("log-format", "text", "structured log format: text or json")
+	traceBuffer := flag.Int("trace-buffer", serve.DefaultTraceCapacity, "number of recent request traces kept for /debug/trace")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof profiling endpoints under /debug/pprof/")
 	var sources, views repeated
 	flag.Var(&sources, "source", "source as name=file.xml (repeatable); the file must carry a DOCTYPE internal subset")
 	flag.Var(&views, "view", "view as source:file.xmas (repeatable)")
 	limitsOf := budgetflag.Register(flag.CommandLine)
 	flag.Parse()
+
+	level := obs.ParseLevel(*logLevel)
+	var logger *slog.Logger
+	switch *logFormat {
+	case "json":
+		logger = obs.NewLogger(os.Stderr, level)
+	case "text":
+		logger = obs.NewTextLogger(os.Stderr, level)
+	default:
+		fmt.Fprintf(os.Stderr, "mixserve: -log-format must be text or json, got %q\n", *logFormat)
+		os.Exit(1)
+	}
+	slog.SetDefault(logger)
 	if len(sources) == 0 {
 		fmt.Fprintln(os.Stderr, "mixserve: at least one -source is required")
 		flag.Usage()
@@ -122,9 +147,20 @@ func main() {
 	// The serving counters double as process expvars (GET /debug/vars),
 	// next to the JSON snapshot at GET /metrics.
 	expvar.Publish("mediator", expvar.Func(func() any { return med.Stats() }))
+	tracer := obs.NewTracer(*traceBuffer)
 	mux := http.NewServeMux()
-	mux.Handle("/", serve.New(med))
+	mux.Handle("/", serve.New(med, serve.WithTracer(tracer), serve.WithLogger(logger)))
 	mux.Handle("GET /debug/vars", expvar.Handler())
+	if *pprofOn {
+		// Opt-in: pprof exposes internals (heap contents, goroutine dumps)
+		// that an internet-facing mediator should not serve by default.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		logger.Info("pprof enabled", slog.String("path", "/debug/pprof/"))
+	}
 
 	srv := &http.Server{
 		Addr:              *addr,

@@ -134,7 +134,14 @@ func (cp *Compiler) DFABudget(e regex.Expr, bud *budget.Budget) (*DFA, error) {
 		if err != nil {
 			return nil, err
 		}
-		return d.Minimize(), nil
+		m := d.Minimize()
+		// A cold compile is a budget hot spot worth a trace event: the
+		// note reaches the span observing this budget (see
+		// budget.Observer), so a degraded request's trace shows which
+		// content models were compiled and at what state cost. Cache
+		// hits stay silent — they cost nothing.
+		bud.NoteEvent("automata.compile", int64(len(m.Trans)))
+		return m, nil
 	})
 	if err != nil {
 		return nil, err

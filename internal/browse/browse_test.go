@@ -236,8 +236,8 @@ func TestExplain(t *testing.T) {
 	}
 	for _, want := range []string{
 		"query v: satisfiable",
-		"pruned",                                    // firstName existence is implied
-		"disjunct name(s) dropped",                  // dean
+		"pruned",                   // firstName existence is implied
+		"disjunct name(s) dropped", // dean
 		"partial: professor possible; dean dropped", // per-condition annotation
 		"rewritten query:",
 	} {

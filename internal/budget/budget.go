@@ -40,6 +40,24 @@ import (
 // exhaustion, whatever the resource that ran out.
 var ErrExhausted = errors.New("budget exhausted")
 
+// Observer receives a budget's charge stream for observability. It is
+// satisfied by obs.(*Span) without either package importing the other:
+// successful charges are coalesced into per-resource span counters and
+// discrete milestones become span events — which is how a degraded
+// request's trace shows where its budget went.
+//
+// Implementations must be safe for concurrent use: charges arrive from
+// the inference fan-out workers.
+type Observer interface {
+	// BudgetCharge reports a successful charge of n units of a resource
+	// (ResourceStates, ResourceClasses, ResourceRefine).
+	BudgetCharge(resource string, n int64)
+	// BudgetEvent reports a discrete milestone: the first exhaustion
+	// ("budget.exhausted.<resource>", n = limit) or an annotation posted
+	// via NoteEvent (e.g. automata cold compiles).
+	BudgetEvent(event string, n int64)
+}
+
 // Resource names used in ExhaustedError and Usage.
 const (
 	ResourceDeadline = "deadline"
@@ -114,6 +132,10 @@ type Budget struct {
 	// exhausted holds the first ExhaustedError observed; later charges
 	// return it unchanged (sticky exhaustion).
 	exhausted atomic.Pointer[ExhaustedError]
+
+	// observer receives the charge stream (see Observer); nil when the
+	// budget is unobserved.
+	observer atomic.Pointer[Observer]
 }
 
 // New returns a budget with the given limits. The deadline clock starts
@@ -142,10 +164,47 @@ func (b *Budget) Child(l Limits) *Budget {
 	return c
 }
 
+// SetObserver attaches (or, with nil, detaches) the observer receiving
+// this budget's charge stream. Observers are per-budget: a child's
+// charges propagate to the parent's counters but only notify the child's
+// own observer, so a span observing a request budget is not spammed by
+// sibling requests. Safe for concurrent use; nil budgets ignore it.
+func (b *Budget) SetObserver(o Observer) {
+	if b == nil {
+		return
+	}
+	if o == nil {
+		b.observer.Store(nil)
+		return
+	}
+	b.observer.Store(&o)
+}
+
+// notifyCharge reports a successful charge to the observer, if any.
+func (b *Budget) notifyCharge(resource string, n int64) {
+	if p := b.observer.Load(); p != nil {
+		(*p).BudgetCharge(resource, n)
+	}
+}
+
+// NoteEvent posts a discrete annotation to the budget's observer (e.g.
+// "automata.compile" with the state count of a cold compile). It charges
+// nothing and is valid on nil budgets; unobserved budgets drop it.
+func (b *Budget) NoteEvent(event string, n int64) {
+	if b == nil {
+		return
+	}
+	if p := b.observer.Load(); p != nil {
+		(*p).BudgetEvent(event, n)
+	}
+}
+
 // exhaust records the first exhaustion and returns the winning error, so
-// every caller sees one consistent reason.
+// every caller sees one consistent reason. The first exhaustion — and
+// only the first — is surfaced to the observer as a discrete event.
 func (b *Budget) exhaust(e *ExhaustedError) *ExhaustedError {
 	if b.exhausted.CompareAndSwap(nil, e) {
+		b.NoteEvent("budget.exhausted."+e.Resource, e.Limit)
 		return e
 	}
 	return b.exhausted.Load()
@@ -206,7 +265,11 @@ func (b *Budget) ChargeStates(n int64) error {
 	if b == nil {
 		return nil
 	}
-	return b.charge(&b.states, b.limits.MaxStates, n, ResourceStates)
+	err := b.charge(&b.states, b.limits.MaxStates, n, ResourceStates)
+	if err == nil {
+		b.notifyCharge(ResourceStates, n)
+	}
+	return err
 }
 
 // ChargeClasses records the enumeration of n structural classes.
@@ -214,7 +277,11 @@ func (b *Budget) ChargeClasses(n int64) error {
 	if b == nil {
 		return nil
 	}
-	return b.charge(&b.classes, b.limits.MaxClasses, n, ResourceClasses)
+	err := b.charge(&b.classes, b.limits.MaxClasses, n, ResourceClasses)
+	if err == nil {
+		b.notifyCharge(ResourceClasses, n)
+	}
+	return err
 }
 
 // ChargeRefine records n units of refinement work (AST nodes refined).
@@ -222,7 +289,11 @@ func (b *Budget) ChargeRefine(n int64) error {
 	if b == nil {
 		return nil
 	}
-	return b.charge(&b.refines, b.limits.MaxRefineSteps, n, ResourceRefine)
+	err := b.charge(&b.refines, b.limits.MaxRefineSteps, n, ResourceRefine)
+	if err == nil {
+		b.notifyCharge(ResourceRefine, n)
+	}
+	return err
 }
 
 // Err reports the budget's current state without charging anything: nil

@@ -1,0 +1,130 @@
+package budget
+
+import (
+	"sync"
+	"testing"
+)
+
+// recordingObserver is a test Observer accumulating the charge stream.
+type recordingObserver struct {
+	mu      sync.Mutex
+	charges map[string]int64
+	events  map[string]int64
+}
+
+func newRecordingObserver() *recordingObserver {
+	return &recordingObserver{charges: map[string]int64{}, events: map[string]int64{}}
+}
+
+func (o *recordingObserver) BudgetCharge(resource string, n int64) {
+	o.mu.Lock()
+	o.charges[resource] += n
+	o.mu.Unlock()
+}
+
+func (o *recordingObserver) BudgetEvent(event string, n int64) {
+	o.mu.Lock()
+	o.events[event]++
+	o.mu.Unlock()
+}
+
+func TestObserverSeesChargesAndSingleExhaustionEvent(t *testing.T) {
+	b := New(Limits{MaxStates: 10})
+	o := newRecordingObserver()
+	b.SetObserver(o)
+	for i := 0; i < 5; i++ {
+		if err := b.ChargeStates(2); err != nil {
+			t.Fatalf("charge %d: %v", i, err)
+		}
+	}
+	// Next two charges exhaust; the event must fire exactly once.
+	if err := b.ChargeStates(1); err == nil {
+		t.Fatal("11th state must exhaust")
+	}
+	if err := b.ChargeStates(1); err == nil {
+		t.Fatal("exhaustion must be sticky")
+	}
+	b.NoteEvent("automata.compile", 7)
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.charges[ResourceStates] != 10 {
+		t.Errorf("observed charges = %d, want the 10 successful units", o.charges[ResourceStates])
+	}
+	if o.events["budget.exhausted."+ResourceStates] != 1 {
+		t.Errorf("exhaustion events = %d, want exactly 1", o.events["budget.exhausted."+ResourceStates])
+	}
+	if o.events["automata.compile"] != 1 {
+		t.Errorf("NoteEvent must reach the observer: %v", o.events)
+	}
+}
+
+func TestObserverDetachAndNilSafety(t *testing.T) {
+	b := New(Limits{})
+	o := newRecordingObserver()
+	b.SetObserver(o)
+	if err := b.ChargeRefine(3); err != nil {
+		t.Fatal(err)
+	}
+	b.SetObserver(nil)
+	if err := b.ChargeRefine(4); err != nil {
+		t.Fatal(err)
+	}
+	o.mu.Lock()
+	got := o.charges[ResourceRefine]
+	o.mu.Unlock()
+	if got != 3 {
+		t.Errorf("detached observer still notified: %d, want 3", got)
+	}
+	var nilBud *Budget
+	nilBud.SetObserver(o) // must not panic
+	nilBud.NoteEvent("e", 1)
+}
+
+// TestObserverIsPerBudget: a child's charges propagate to the parent's
+// counters but notify only the child's observer — a span watching one
+// request must not see sibling requests' charges.
+func TestObserverIsPerBudget(t *testing.T) {
+	parent := New(Limits{})
+	po, co := newRecordingObserver(), newRecordingObserver()
+	parent.SetObserver(po)
+	child := parent.Child(Limits{})
+	child.SetObserver(co)
+	if err := child.ChargeClasses(5); err != nil {
+		t.Fatal(err)
+	}
+	if parent.Usage().Classes != 5 {
+		t.Errorf("parent counters must aggregate the child's charge")
+	}
+	po.mu.Lock()
+	pn := po.charges[ResourceClasses]
+	po.mu.Unlock()
+	co.mu.Lock()
+	cn := co.charges[ResourceClasses]
+	co.mu.Unlock()
+	if pn != 0 || cn != 5 {
+		t.Errorf("parent observed %d (want 0), child observed %d (want 5)", pn, cn)
+	}
+}
+
+func TestObserverConcurrent(t *testing.T) {
+	b := New(Limits{})
+	o := newRecordingObserver()
+	b.SetObserver(o)
+	const workers, per = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				_ = b.ChargeStates(1)
+			}
+		}()
+	}
+	wg.Wait()
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.charges[ResourceStates] != workers*per {
+		t.Errorf("observed = %d, want %d", o.charges[ResourceStates], workers*per)
+	}
+}

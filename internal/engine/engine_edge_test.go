@@ -94,8 +94,8 @@ func TestEmptyTextVsEmptyElement(t *testing.T) {
 	// An element with empty element-content does not match a text
 	// condition for "" — but our parser canonicalizes; construct directly.
 	root := xmlmodel.NewElement("r",
-		xmlmodel.NewElement("n"),      // empty element content
-		xmlmodel.NewText("n", "CS"),   // text CS
+		xmlmodel.NewElement("n"),    // empty element content
+		xmlmodel.NewText("n", "CS"), // text CS
 	)
 	root.Children[0].ID = "empty"
 	root.Children[1].ID = "cs"

@@ -13,6 +13,7 @@ import (
 	"repro/internal/automata"
 	"repro/internal/budget"
 	"repro/internal/dtd"
+	"repro/internal/obs"
 	"repro/internal/regex"
 	"repro/internal/sdtd"
 	"repro/internal/xmas"
@@ -128,10 +129,13 @@ func (in *inferencer) recordPanic(err error) {
 
 // markDegraded records that n's specialization kept its unrefined source
 // type (or a conservatively classified one) because the budget ran out.
+// The skip is also a span event: refinement is a budget charge site, and
+// the trace should name the elements whose tightening was abandoned.
 func (in *inferencer) markDegraded(n string) {
 	in.mu.Lock()
 	in.degraded[n] = true
 	in.mu.Unlock()
+	obs.AddEvent(in.ctx, "infer.refine.skipped", obs.String("element", n))
 }
 
 // err reports the first fatal interrupt: a worker panic or a cancelled
@@ -181,6 +185,20 @@ func InferContext(ctx context.Context, q *xmas.Query, src *dtd.DTD) (*Result, er
 	}
 	if _, clash := src.Types[q.Name]; clash {
 		return nil, fmt.Errorf("infer: view name %q collides with a source element name", q.Name)
+	}
+	// One span per inference run. The budget's charge stream is routed to
+	// this span for the duration of the run, so the trace of a degraded
+	// request shows the per-resource totals (DFA states, refine steps,
+	// classes) and the discrete hot-spot events (cold compiles,
+	// exhaustion) that consumed the budget.
+	ctx, span := obs.StartSpan(ctx, "infer",
+		obs.String("view", q.Name), obs.String("source_root", src.Root))
+	defer span.End()
+	if span != nil {
+		if b := budget.FromContext(ctx); b != nil {
+			b.SetObserver(span)
+			defer b.SetObserver(nil)
+		}
 	}
 	in := &inferencer{
 		ctx:      ctx,
@@ -244,6 +262,12 @@ func InferContext(ctx context.Context, q *xmas.Query, src *dtd.DTD) (*Result, er
 		in.mu.Lock()
 		res.DegradedNames = sortedKeys(in.degraded)
 		in.mu.Unlock()
+	}
+	span.SetAttr(obs.String("class", res.Class.String()), obs.Bool("degraded", res.Degraded))
+	if res.Degraded {
+		span.Event("infer.degraded",
+			obs.String("reason", res.DegradedReason),
+			obs.Int("loose_names", int64(len(res.DegradedNames))))
 	}
 	return res, nil
 }

@@ -26,6 +26,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -33,6 +34,7 @@ import (
 	"repro/internal/dtd"
 	"repro/internal/engine"
 	"repro/internal/infer"
+	"repro/internal/obs"
 	"repro/internal/regex"
 	"repro/internal/sdtd"
 	"repro/internal/xmas"
@@ -390,11 +392,13 @@ func (m *Mediator) MaterializeInfo(ctx context.Context, viewName string) (*xmlmo
 	if doc, ok := m.matCache[viewName]; ok {
 		m.mu.Unlock()
 		m.stats.add(&m.stats.cacheHits, 1)
+		obs.AddEvent(ctx, "materialize.cache_hit", obs.String("view", viewName))
 		return doc, &MaterializeInfo{}, nil
 	}
 	if c, ok := m.inflight[viewName]; ok {
 		m.mu.Unlock()
 		m.stats.add(&m.stats.dedups, 1)
+		obs.AddEvent(ctx, "materialize.singleflight_join", obs.String("view", viewName))
 		select {
 		case <-c.done:
 			return c.doc, c.info, c.err
@@ -416,12 +420,20 @@ func (m *Mediator) MaterializeInfo(ctx context.Context, viewName string) (*xmlmo
 	m.mu.Unlock()
 
 	m.stats.add(&m.stats.cacheMisses, 1)
+	mctx, span := obs.StartSpan(ctx, "materialize",
+		obs.String("view", viewName), obs.Int("parts", int64(len(v.Parts))))
 	start := time.Now()
-	doc, info, err := m.evaluate(ctx, v, wrappers)
+	doc, info, err := m.evaluate(mctx, v, wrappers)
 	m.stats.recordMaterialize(viewName, time.Since(start))
 	if err == nil && info.Degraded {
 		m.stats.add(&m.stats.degradedMaterializations, 1)
+		span.Event("materialize.degraded",
+			obs.String("dropped_sources", strings.Join(info.DegradedSources, ",")))
 	}
+	if err != nil {
+		span.SetAttr(obs.String("error", err.Error()))
+	}
+	span.End()
 
 	call.doc, call.info, call.err = doc, info, err
 	stale := false
@@ -468,17 +480,28 @@ func (m *Mediator) evaluate(ctx context.Context, v *View, wrappers []Wrapper) (*
 		go func(i int) {
 			defer wg.Done()
 			p := v.Parts[i]
-			doc, err := wrappers[i].Fetch(ctx)
+			// One span per source fetch: the trace of a slow or degraded
+			// request shows which source stalled (fault injection, retries)
+			// or was dropped by its breaker.
+			fctx, fspan := obs.StartSpan(ctx, "source.fetch", obs.String("source", p.Source))
+			doc, err := wrappers[i].Fetch(fctx)
 			if errors.Is(err, ErrBreakerOpen) {
+				fspan.Event("breaker.open_drop", obs.String("source", p.Source))
+				fspan.End()
 				results[i].dropped = true
 				return
 			}
 			if err != nil {
+				fspan.SetAttr(obs.String("error", err.Error()))
+				fspan.End()
 				results[i].err = fmt.Errorf("mediator: fetching %s: %w", p.Source, err)
 				cancel() // abandon sibling fetches: the view cannot complete
 				return
 			}
+			fspan.End()
+			_, espan := obs.StartSpan(ctx, "part.eval", obs.String("source", p.Source))
 			part, err := engine.Eval(p.Query, doc)
+			espan.End()
 			if err != nil {
 				results[i].err = fmt.Errorf("mediator: evaluating view %s over %s: %v", v.Name, p.Source, err)
 				cancel()
@@ -544,6 +567,8 @@ func (m *Mediator) Query(ctx context.Context, viewName string, q *xmas.Query) (*
 	if err != nil {
 		return nil, nil, err
 	}
+	ctx, span := obs.StartSpan(ctx, "query", obs.String("view", viewName))
+	defer span.End()
 	start := time.Now()
 	defer func() { m.stats.recordQuery(viewName, time.Since(start)) }()
 	stats := &QueryStats{}
@@ -552,14 +577,17 @@ func (m *Mediator) Query(ctx context.Context, viewName string, q *xmas.Query) (*
 		stats.PrunedConditions = rep.PrunedConditions
 		stats.DroppedNames = rep.DroppedNames
 		m.stats.recordSimplify(rep.PrunedConditions, rep.DroppedNames, rep.Class == infer.Unsatisfiable)
+		span.SetAttr(obs.Int("pruned", int64(rep.PrunedConditions)), obs.Int("dropped", int64(rep.DroppedNames)))
 		if rep.Class == infer.Unsatisfiable {
 			stats.SkippedUnsatisfiable = true
+			span.Event("query.skipped_unsatisfiable")
 			return &xmlmodel.Document{DocType: q.Name, Root: &xmlmodel.Element{Name: q.Name}}, stats, nil
 		}
 		sq = simplified
 	} else {
 		stats.SimplifierError = serr.Error()
 		m.stats.add(&m.stats.simplifierErrors, 1)
+		span.Event("query.simplifier_error", obs.String("error", serr.Error()))
 	}
 	doc, info, err := m.MaterializeInfo(ctx, viewName)
 	if err != nil {

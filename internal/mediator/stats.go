@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/automata"
 	"repro/internal/automata/cache"
+	"repro/internal/obs"
 )
 
 // ViewStats is the per-view slice of a Stats snapshot.
@@ -19,6 +20,13 @@ type ViewStats struct {
 	Materializations int64 `json:"materializations"`
 	// MaterializeNanos is the total wall-clock time spent evaluating.
 	MaterializeNanos int64 `json:"materialize_nanos"`
+	// QueryLatency / MaterializeLatency are fixed-bucket latency
+	// histograms of the same calls the counters above total: the flat
+	// sums hide tail latency, the buckets (and their p50/p95/p99
+	// estimates) expose it. Serialized to JSON here and to Prometheus
+	// text exposition by internal/serve.
+	QueryLatency       obs.HistogramSnapshot `json:"query_latency"`
+	MaterializeLatency obs.HistogramSnapshot `json:"materialize_latency"`
 }
 
 // Stats is a point-in-time snapshot of the mediator's serving counters,
@@ -84,6 +92,14 @@ type statsCounters struct {
 	simplifierErrors                                             int64
 	degradedViews, budgetExhaustions, degradedMaterializations   int64
 	views                                                        map[string]*ViewStats
+	// hists holds the live per-view histograms backing the snapshot
+	// fields of ViewStats (the snapshot struct carries copies).
+	hists map[string]*viewHists
+}
+
+// viewHists are the live latency histograms of one view.
+type viewHists struct {
+	query, materialize *obs.Histogram
 }
 
 func (s *statsCounters) add(field *int64, n int64) {
@@ -104,12 +120,26 @@ func (s *statsCounters) view(name string) *ViewStats {
 	return vs
 }
 
+func (s *statsCounters) viewHists(name string) *viewHists {
+	if s.hists == nil {
+		s.hists = map[string]*viewHists{}
+	}
+	vh, ok := s.hists[name]
+	if !ok {
+		vh = &viewHists{query: obs.NewHistogram(), materialize: obs.NewHistogram()}
+		s.hists[name] = vh
+	}
+	return vh
+}
+
 func (s *statsCounters) recordQuery(view string, d time.Duration) {
 	s.mu.Lock()
 	vs := s.view(view)
 	vs.Queries++
 	vs.QueryNanos += int64(d)
+	h := s.viewHists(view).query
 	s.mu.Unlock()
+	h.Observe(d)
 }
 
 func (s *statsCounters) recordMaterialize(view string, d time.Duration) {
@@ -117,7 +147,9 @@ func (s *statsCounters) recordMaterialize(view string, d time.Duration) {
 	vs := s.view(view)
 	vs.Materializations++
 	vs.MaterializeNanos += int64(d)
+	h := s.viewHists(view).materialize
 	s.mu.Unlock()
+	h.Observe(d)
 }
 
 func (s *statsCounters) recordSimplify(pruned, dropped int, skipped bool) {
@@ -152,7 +184,12 @@ func (m *Mediator) Stats() Stats {
 		Views:                    make(map[string]ViewStats, len(s.views)),
 	}
 	for name, vs := range s.views {
-		out.Views[name] = *vs
+		snap := *vs
+		if vh, ok := s.hists[name]; ok {
+			snap.QueryLatency = vh.query.Snapshot()
+			snap.MaterializeLatency = vh.materialize.Snapshot()
+		}
+		out.Views[name] = snap
 	}
 	s.mu.Unlock()
 

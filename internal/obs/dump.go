@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// WriteTrace renders a trace snapshot as an indented span tree — the
+// human-oriented form behind the CLIs' -trace flag, where /debug/trace's
+// JSON would be noise. Each line shows the span's name and duration,
+// followed by its attributes, coalesced counters (budget charges land
+// here) and discrete events.
+func WriteTrace(w io.Writer, ts *TraceSnapshot) {
+	if ts == nil {
+		return
+	}
+	fmt.Fprintf(w, "trace %s (%s)\n", ts.TraceID, time.Duration(ts.DurationNanos))
+	children := make(map[int64][]*SpanSnapshot)
+	for i := range ts.Spans {
+		sp := &ts.Spans[i]
+		children[sp.ParentID] = append(children[sp.ParentID], sp)
+	}
+	var walk func(parent int64, depth int)
+	walk = func(parent int64, depth int) {
+		for _, sp := range children[parent] {
+			indent := strings.Repeat("  ", depth+1)
+			fmt.Fprintf(w, "%s%s (%s)%s\n", indent, sp.Name, time.Duration(sp.DurationNanos), attrSuffix(sp.Attrs))
+			for _, k := range sortedKeys(sp.Counts) {
+				fmt.Fprintf(w, "%s  # %s = %d\n", indent, k, sp.Counts[k])
+			}
+			for _, ev := range sp.Events {
+				fmt.Fprintf(w, "%s  @ %s%s\n", indent, ev.Name, attrSuffix(ev.Attrs))
+			}
+			if sp.DroppedEvents > 0 {
+				fmt.Fprintf(w, "%s  @ ... %d events dropped\n", indent, sp.DroppedEvents)
+			}
+			walk(sp.SpanID, depth+1)
+		}
+	}
+	walk(0, 0)
+}
+
+func attrSuffix(attrs []Attr) string {
+	if len(attrs) == 0 {
+		return ""
+	}
+	parts := make([]string, len(attrs))
+	for i, a := range attrs {
+		parts[i] = a.Key + "=" + a.Value
+	}
+	return " {" + strings.Join(parts, " ") + "}"
+}
+
+func sortedKeys(m map[string]int64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"log/slog"
+)
+
+// traceHandler is a slog.Handler middleware that stamps every record with
+// the trace and span IDs carried by the logging context, so log lines
+// correlate with /debug/trace entries by ID.
+type traceHandler struct{ inner slog.Handler }
+
+func (h traceHandler) Enabled(ctx context.Context, level slog.Level) bool {
+	return h.inner.Enabled(ctx, level)
+}
+
+func (h traceHandler) Handle(ctx context.Context, rec slog.Record) error {
+	if sp := spanFromContext(ctx); sp != nil {
+		rec.AddAttrs(slog.String("trace_id", sp.TraceID()), slog.Int64("span_id", sp.SpanID()))
+	}
+	return h.inner.Handle(ctx, rec)
+}
+
+func (h traceHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return traceHandler{inner: h.inner.WithAttrs(attrs)}
+}
+
+func (h traceHandler) WithGroup(name string) slog.Handler {
+	return traceHandler{inner: h.inner.WithGroup(name)}
+}
+
+// NewLogger returns the shared structured logger shape used across the
+// serving path and CLIs: JSON records to w at the given level, with
+// trace/span IDs injected from the context (use the Logger's
+// *Context methods — InfoContext etc. — to get the injection).
+func NewLogger(w io.Writer, level slog.Leveler) *slog.Logger {
+	return slog.New(traceHandler{inner: slog.NewJSONHandler(w, &slog.HandlerOptions{Level: level})})
+}
+
+// NewTextLogger is NewLogger with human-oriented text records (CLIs).
+func NewTextLogger(w io.Writer, level slog.Leveler) *slog.Logger {
+	return slog.New(traceHandler{inner: slog.NewTextHandler(w, &slog.HandlerOptions{Level: level})})
+}
+
+// discardHandler drops every record (slog.DiscardHandler arrives in
+// go 1.24; this repo targets 1.22).
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (discardHandler) WithAttrs([]slog.Attr) slog.Handler        { return discardHandler{} }
+func (discardHandler) WithGroup(string) slog.Handler             { return discardHandler{} }
+
+// DiscardLogger returns a logger that drops everything — the default for
+// embedded handlers (tests, libraries) until a real logger is injected.
+func DiscardLogger() *slog.Logger { return slog.New(discardHandler{}) }
+
+// ParseLevel maps a -log-level flag value to a slog.Level (debug, info,
+// warn, error; unknown values default to info).
+func ParseLevel(s string) slog.Level {
+	switch s {
+	case "debug":
+		return slog.LevelDebug
+	case "warn", "warning":
+		return slog.LevelWarn
+	case "error":
+		return slog.LevelError
+	default:
+		return slog.LevelInfo
+	}
+}

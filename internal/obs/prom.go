@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// MetricWriter emits Prometheus text exposition format (version 0.0.4).
+// It tracks which metric families have had their # HELP / # TYPE header
+// written, so several label series of one family share a single header
+// regardless of emission order. Not safe for concurrent use — build the
+// whole exposition under one writer.
+type MetricWriter struct {
+	w      io.Writer
+	headed map[string]bool
+	err    error
+}
+
+// Label is one Prometheus label pair.
+type Label struct{ Name, Value string }
+
+// NewMetricWriter wraps w.
+func NewMetricWriter(w io.Writer) *MetricWriter {
+	return &MetricWriter{w: w, headed: map[string]bool{}}
+}
+
+// Err returns the first write error, if any.
+func (m *MetricWriter) Err() error { return m.err }
+
+func (m *MetricWriter) printf(format string, args ...any) {
+	if m.err != nil {
+		return
+	}
+	_, m.err = fmt.Fprintf(m.w, format, args...)
+}
+
+func (m *MetricWriter) header(name, help, typ string) {
+	if m.headed[name] {
+		return
+	}
+	m.headed[name] = true
+	m.printf("# HELP %s %s\n# TYPE %s %s\n", name, escapeHelp(help), name, typ)
+}
+
+// escapeHelp escapes backslashes and newlines per the exposition format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabel escapes a label value (backslash, quote, newline).
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// labelString renders {a="b",c="d"} ("" when no labels). extra labels are
+// appended after the caller's (used for the histogram "le" label).
+func labelString(labels []Label, extra ...Label) string {
+	all := append(append([]Label(nil), labels...), extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	parts := make([]string, len(all))
+	for i, l := range all {
+		parts[i] = l.Name + `="` + escapeLabel(l.Value) + `"`
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+func formatValue(v float64) string {
+	if math.IsInf(v, +1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Counter emits one counter sample.
+func (m *MetricWriter) Counter(name, help string, value float64, labels ...Label) {
+	m.header(name, help, "counter")
+	m.printf("%s%s %s\n", name, labelString(labels), formatValue(value))
+}
+
+// Gauge emits one gauge sample.
+func (m *MetricWriter) Gauge(name, help string, value float64, labels ...Label) {
+	m.header(name, help, "gauge")
+	m.printf("%s%s %s\n", name, labelString(labels), formatValue(value))
+}
+
+// Histogram emits one histogram series: cumulative _bucket samples with
+// "le" labels (including the +Inf bucket), plus _sum and _count.
+func (m *MetricWriter) Histogram(name, help string, s HistogramSnapshot, labels ...Label) {
+	m.header(name, help, "histogram")
+	var cum int64
+	for i, ub := range s.Bounds {
+		if i < len(s.Counts) {
+			cum += s.Counts[i]
+		}
+		m.printf("%s_bucket%s %d\n", name, labelString(labels, Label{"le", formatValue(ub)}), cum)
+	}
+	if n := len(s.Bounds); n < len(s.Counts) {
+		cum += s.Counts[n]
+	}
+	m.printf("%s_bucket%s %d\n", name, labelString(labels, Label{"le", "+Inf"}), cum)
+	m.printf("%s_sum%s %s\n", name, labelString(labels), formatValue(s.SumSeconds))
+	m.printf("%s_count%s %d\n", name, labelString(labels), cum)
+}
+
+// CounterMap emits one sample per map entry with the given label name,
+// in sorted key order (deterministic exposition).
+func (m *MetricWriter) CounterMap(name, help, labelName string, values map[string]int64, labels ...Label) {
+	keys := make([]string, 0, len(values))
+	for k := range values {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		m.Counter(name, help, float64(values[k]), append(append([]Label(nil), labels...), Label{labelName, k})...)
+	}
+}

@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestStartRequestHonorsValidTraceID(t *testing.T) {
+	tr := NewTracer(4)
+	ctx, sp := tr.StartRequest(context.Background(), "req", "client-id_1.x")
+	if got := TraceID(ctx); got != "client-id_1.x" {
+		t.Errorf("TraceID = %q, want the honored client id", got)
+	}
+	sp.End()
+	traces := tr.Traces(0)
+	if len(traces) != 1 || traces[0].TraceID != "client-id_1.x" {
+		t.Fatalf("traces = %+v", traces)
+	}
+}
+
+func TestStartRequestRejectsInvalidTraceID(t *testing.T) {
+	tr := NewTracer(4)
+	for _, bad := range []string{"", "has space", "new\nline", "quote\"x", string(make([]byte, 65))} {
+		ctx, sp := tr.StartRequest(context.Background(), "req", bad)
+		id := TraceID(ctx)
+		if id == bad || !ValidTraceID(id) {
+			t.Errorf("invalid id %q must be replaced by a fresh valid one, got %q", bad, id)
+		}
+		sp.End()
+	}
+}
+
+func TestSpanNestingAndSnapshot(t *testing.T) {
+	tr := NewTracer(4)
+	ctx, root := tr.StartRequest(context.Background(), "req", "")
+	ctx2, child := StartSpan(ctx, "child", String("source", "cs"))
+	_, grand := StartSpan(ctx2, "grandchild")
+	grand.AddCount("budget.dfa-states", 7)
+	grand.AddCount("budget.dfa-states", 3)
+	grand.Event("compile", Int("states", 10))
+	grand.End()
+	child.End()
+	root.SetAttr(Int("status", 200))
+	root.End()
+
+	traces := tr.Traces(0)
+	if len(traces) != 1 {
+		t.Fatalf("got %d traces, want 1", len(traces))
+	}
+	snap := traces[0]
+	if snap.Root != "req" || len(snap.Spans) != 3 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	cs := snap.Span("child")
+	gs := snap.Span("grandchild")
+	if cs == nil || gs == nil {
+		t.Fatal("missing spans")
+	}
+	if cs.ParentID != snap.Span("req").SpanID || gs.ParentID != cs.SpanID {
+		t.Errorf("parent links wrong: child.parent=%d grand.parent=%d", cs.ParentID, gs.ParentID)
+	}
+	if gs.Counts["budget.dfa-states"] != 10 {
+		t.Errorf("coalesced count = %d, want 10", gs.Counts["budget.dfa-states"])
+	}
+	if len(gs.Events) != 1 || gs.Events[0].Name != "compile" {
+		t.Errorf("events = %+v", gs.Events)
+	}
+	if gs.DurationNanos <= 0 || snap.DurationNanos <= 0 {
+		t.Errorf("durations must be positive: span=%d trace=%d", gs.DurationNanos, snap.DurationNanos)
+	}
+	if _, err := json.Marshal(snap); err != nil {
+		t.Errorf("snapshot must be JSON-marshalable: %v", err)
+	}
+}
+
+func TestNilSpanAndUntracedContextAreNoops(t *testing.T) {
+	var sp *Span
+	sp.End()
+	sp.SetAttr(String("k", "v"))
+	sp.Event("e")
+	sp.AddCount("c", 1)
+	sp.BudgetCharge("dfa-states", 1)
+	sp.BudgetEvent("exhausted", 1)
+	if sp.TraceID() != "" || sp.SpanID() != 0 {
+		t.Error("nil span must have empty identity")
+	}
+	ctx := context.Background()
+	if c2, s2 := StartSpan(ctx, "x"); s2 != nil || c2 != ctx {
+		t.Error("StartSpan without a trace must be inert")
+	}
+	AddEvent(ctx, "e")
+	AddCount(ctx, "c", 1)
+	var tr *Tracer
+	if c2, s2 := tr.StartRequest(ctx, "r", ""); s2 != nil || c2 != ctx {
+		t.Error("nil tracer StartRequest must be inert")
+	}
+	if tr.Traces(0) != nil || tr.Recorded() != 0 || tr.Capacity() != 0 {
+		t.Error("nil tracer accessors must be inert")
+	}
+}
+
+func TestEventCap(t *testing.T) {
+	tr := NewTracer(1)
+	_, sp := tr.StartRequest(context.Background(), "req", "")
+	for i := 0; i < maxEventsPerSpan+25; i++ {
+		sp.Event("e")
+	}
+	sp.End()
+	snap := tr.Traces(0)[0].Span("req")
+	if len(snap.Events) != maxEventsPerSpan {
+		t.Errorf("events = %d, want cap %d", len(snap.Events), maxEventsPerSpan)
+	}
+	if snap.DroppedEvents != 25 {
+		t.Errorf("dropped = %d, want 25", snap.DroppedEvents)
+	}
+}
+
+// TestRingEvictionConcurrent hammers the ring from many goroutines and
+// asserts the retained window is exactly the capacity, newest first —
+// the /debug/trace eviction contract — while -race checks the locking.
+func TestRingEvictionConcurrent(t *testing.T) {
+	const capacity, workers, perWorker = 8, 8, 50
+	tr := NewTracer(capacity)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				ctx, root := tr.StartRequest(context.Background(), "req", fmt.Sprintf("w%d-i%d", w, i))
+				_, c := StartSpan(ctx, "child")
+				c.End()
+				root.End()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := tr.Recorded(); got != workers*perWorker {
+		t.Errorf("recorded = %d, want %d", got, workers*perWorker)
+	}
+	traces := tr.Traces(0)
+	if len(traces) != capacity {
+		t.Fatalf("retained = %d, want capacity %d", len(traces), capacity)
+	}
+	seen := map[string]bool{}
+	for _, tc := range traces {
+		if seen[tc.TraceID] {
+			t.Errorf("duplicate trace %s in ring", tc.TraceID)
+		}
+		seen[tc.TraceID] = true
+		if len(tc.Spans) != 2 {
+			t.Errorf("trace %s has %d spans, want 2", tc.TraceID, len(tc.Spans))
+		}
+	}
+	if got := tr.Traces(3); len(got) != 3 {
+		t.Errorf("limited snapshot = %d traces, want 3", len(got))
+	}
+}
+
+func TestDoubleEndIsIdempotent(t *testing.T) {
+	tr := NewTracer(4)
+	_, sp := tr.StartRequest(context.Background(), "req", "")
+	sp.End()
+	sp.End()
+	if got := tr.Recorded(); got != 1 {
+		t.Errorf("recorded = %d, want 1 (second End ignored)", got)
+	}
+}

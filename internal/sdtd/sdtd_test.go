@@ -362,11 +362,11 @@ func TestParseRoundTrip(t *testing.T) {
 func TestParseErrorsSDTD(t *testing.T) {
 	for _, bad := range []string{
 		``,
-		`<!DOCTYPE r [ <!ELEMENT r (a^1)> ]>`,                       // undeclared a^1
-		`<!DOCTYPE r [ <!ELEMENT r (a)> <!ELEMENT r (b)> ]>`,        // duplicate
-		`<!DOCTYPE r [ <!WEIRD x> ]>`,                               // unknown decl
-		`<!DOCTYPE r [ <!ELEMENT r (a,,b)> ]>`,                      // bad model
-		`<!DOCTYPE (a|b) [ <!ELEMENT a (#PCDATA)> ]>`,               // root not a name
+		`<!DOCTYPE r [ <!ELEMENT r (a^1)> ]>`, // undeclared a^1
+		`<!DOCTYPE r [ <!ELEMENT r (a)> <!ELEMENT r (b)> ]>`, // duplicate
+		`<!DOCTYPE r [ <!WEIRD x> ]>`,                        // unknown decl
+		`<!DOCTYPE r [ <!ELEMENT r (a,,b)> ]>`,               // bad model
+		`<!DOCTYPE (a|b) [ <!ELEMENT a (#PCDATA)> ]>`,        // root not a name
 	} {
 		if _, err := Parse(bad); err == nil {
 			t.Errorf("Parse(%q) should fail", bad)

@@ -1,0 +1,253 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TraceHeader is the request/response header carrying the trace ID.
+// Incoming values (if well-formed, see obs.ValidTraceID) are honored so a
+// caller — or an upstream proxy — can correlate its own logs with the
+// mediator's; otherwise a fresh ID is minted. The header is set on every
+// response, including errors, degraded responses and 404s.
+const TraceHeader = "X-Mix-Trace-Id"
+
+// statusWriter captures the status code and body size for the access log
+// and the per-route metrics. WriteHeader/Write keep http.ResponseWriter
+// semantics (implicit 200 on first Write).
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.status == 0 {
+		sw.status = code
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(p []byte) (int, error) {
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	n, err := sw.ResponseWriter.Write(p)
+	sw.bytes += int64(n)
+	return n, err
+}
+
+// Flush forwards to the underlying writer when it supports streaming.
+func (sw *statusWriter) Flush() {
+	if f, ok := sw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// serveObserved is the observability middleware wrapping the mux: it
+// opens the request's root span (honoring an incoming trace ID), echoes
+// X-Mix-Trace-Id, records the per-route latency histogram and status
+// counter, and emits one structured access-log line per request.
+func (h *Handler) serveObserved(w http.ResponseWriter, r *http.Request) {
+	ctx, span := h.tracer.StartRequest(r.Context(), "http "+r.Method, r.Header.Get(TraceHeader))
+	w.Header().Set(TraceHeader, span.TraceID())
+	sw := &statusWriter{ResponseWriter: w}
+	r2 := r.WithContext(ctx)
+
+	start := time.Now()
+	h.mux.ServeHTTP(sw, r2)
+	elapsed := time.Since(start)
+
+	if sw.status == 0 {
+		// Handler wrote nothing (e.g. empty 200 body with no explicit
+		// WriteHeader): net/http sends 200 when the handler returns.
+		sw.status = http.StatusOK
+	}
+	// Go 1.22+: after ServeHTTP the request copy carries the matched route
+	// pattern, which keeps histogram label cardinality bounded by the
+	// route table rather than by raw URLs.
+	pattern := r2.Pattern
+	if pattern == "" {
+		pattern = "unmatched"
+	}
+	span.SetAttr(
+		obs.String("http.pattern", pattern),
+		obs.Int("http.status", int64(sw.status)),
+		obs.Int("http.bytes", sw.bytes),
+	)
+	span.End()
+
+	h.recordRequest(pattern, sw.status, elapsed)
+	h.logger.LogAttrs(ctx, slogLevelFor(sw.status), "request",
+		slog.String("method", r.Method),
+		slog.String("path", r.URL.Path),
+		slog.String("pattern", pattern),
+		slog.Int("status", sw.status),
+		slog.Int64("bytes", sw.bytes),
+		slog.Duration("elapsed", elapsed),
+		slog.String("remote", r.RemoteAddr),
+	)
+}
+
+// slogLevelFor maps a response status to a log level so server errors
+// stand out in the access log without a separate error path.
+func slogLevelFor(status int) slog.Level {
+	switch {
+	case status >= 500:
+		return slog.LevelError
+	case status >= 400:
+		return slog.LevelWarn
+	default:
+		return slog.LevelInfo
+	}
+}
+
+func (h *Handler) recordRequest(pattern string, status int, d time.Duration) {
+	h.reqMu.Lock()
+	hist, ok := h.reqHists[pattern]
+	if !ok {
+		hist = obs.NewHistogram()
+		h.reqHists[pattern] = hist
+	}
+	h.reqCodes[pattern+"|"+strconv.Itoa(status)]++
+	h.reqMu.Unlock()
+	hist.Observe(d)
+}
+
+// getDebugTrace serves the tracer's ring of recent traces as JSON,
+// newest first. ?limit=N caps the count.
+func (h *Handler) getDebugTrace(w http.ResponseWriter, r *http.Request) {
+	limit := 0
+	if s := r.URL.Query().Get("limit"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 0 {
+			http.Error(w, "limit must be a non-negative integer", http.StatusBadRequest)
+			return
+		}
+		limit = n
+	}
+	traces := h.tracer.Traces(limit)
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(struct {
+		Capacity int                  `json:"capacity"`
+		Recorded int64                `json:"recorded"`
+		Traces   []*obs.TraceSnapshot `json:"traces"`
+	}{h.tracer.Capacity(), h.tracer.Recorded(), traces})
+}
+
+// wantsPrometheus reports whether the /metrics request asked for the text
+// exposition format instead of the default JSON snapshot: either
+// explicitly (?format=prometheus) or via an Accept header preferring
+// text/plain or OpenMetrics, the way Prometheus scrapers do.
+func wantsPrometheus(r *http.Request) bool {
+	switch r.URL.Query().Get("format") {
+	case "prometheus", "text":
+		return true
+	case "json":
+		return false
+	}
+	accept := r.Header.Get("Accept")
+	if strings.Contains(accept, "application/openmetrics-text") {
+		return true
+	}
+	if strings.Contains(accept, "text/plain") && !strings.Contains(accept, "application/json") {
+		return true
+	}
+	return false
+}
+
+// writePrometheus renders the same counters the JSON snapshot carries —
+// plus the HTTP-layer histograms only this handler sees — in Prometheus
+// text exposition format 0.0.4.
+func (h *Handler) writePrometheus(w http.ResponseWriter) {
+	st := h.m.Stats()
+	mw := obs.NewMetricWriter(w)
+
+	mw.Counter("mix_cache_hits_total", "Materializations answered from the cache.", float64(st.CacheHits))
+	mw.Counter("mix_cache_misses_total", "Materializations that evaluated the view.", float64(st.CacheMisses))
+	mw.Counter("mix_singleflight_dedups_total", "Materialize calls that joined an in-flight evaluation.", float64(st.SingleflightDedups))
+	mw.Counter("mix_stale_discards_total", "Evaluations discarded because the view was invalidated mid-flight.", float64(st.StaleDiscards))
+	mw.Counter("mix_invalidations_total", "View cache invalidations.", float64(st.Invalidations))
+	mw.Counter("mix_simplifier_pruned_total", "Query conditions pruned by the DTD-based simplifier.", float64(st.SimplifierPruned))
+	mw.Counter("mix_simplifier_dropped_total", "Names dropped by the DTD-based simplifier.", float64(st.SimplifierDropped))
+	mw.Counter("mix_simplifier_skips_total", "Queries answered as unsatisfiable without touching data.", float64(st.SimplifierSkips))
+	mw.Counter("mix_simplifier_errors_total", "Queries that fell back to the unsimplified path.", float64(st.SimplifierErrors))
+	mw.Counter("mix_wrapper_retries_total", "Transient-failure retries across retry-aware wrappers.", float64(st.Retries))
+	mw.Counter("mix_degraded_views_total", "View definitions registered with a budget-degraded DTD.", float64(st.DegradedViews))
+	mw.Counter("mix_budget_exhaustions_total", "Inference budget exhaustion events.", float64(st.BudgetExhaustions))
+	mw.Counter("mix_degraded_materializations_total", "Materializations served without breaker-open sources.", float64(st.DegradedMaterializations))
+	mw.Counter("mix_breaker_trips_total", "Circuit-breaker transitions to the open state.", float64(st.BreakerTrips))
+	mw.Counter("mix_breaker_rejections_total", "Fetches rejected by an open circuit breaker.", float64(st.BreakerRejections))
+
+	ac := st.AutomataCache
+	mw.Counter("mix_automata_cache_hits_total", "Compiled-automata cache hits.", float64(ac.Hits))
+	mw.Counter("mix_automata_cache_misses_total", "Compiled-automata cache misses.", float64(ac.Misses))
+	mw.Counter("mix_automata_cache_dedups_total", "Compiled-automata cache singleflight joins.", float64(ac.Dedups))
+	mw.Counter("mix_automata_cache_evictions_total", "Compiled-automata cache evictions.", float64(ac.Evictions))
+	mw.Gauge("mix_automata_cache_size", "Entries currently in the compiled-automata cache.", float64(ac.Size))
+
+	// Per-view counters and latency histograms, sorted for stable output.
+	views := make([]string, 0, len(st.Views))
+	for name := range st.Views {
+		views = append(views, name)
+	}
+	sort.Strings(views)
+	for _, name := range views {
+		vs := st.Views[name]
+		label := obs.Label{Name: "view", Value: name}
+		mw.Counter("mix_view_queries_total", "Query calls that reached the view.", float64(vs.Queries), label)
+		mw.Counter("mix_view_materializations_total", "Actual view evaluations (cache misses).", float64(vs.Materializations), label)
+		mw.Histogram("mix_view_query_duration_seconds", "Latency of Query calls per view.", vs.QueryLatency, label)
+		mw.Histogram("mix_view_materialize_duration_seconds", "Latency of view evaluations per view.", vs.MaterializeLatency, label)
+	}
+
+	// HTTP layer: per-route latency histograms and per-status counters.
+	h.reqMu.Lock()
+	patterns := make([]string, 0, len(h.reqHists))
+	for p := range h.reqHists {
+		patterns = append(patterns, p)
+	}
+	hists := make(map[string]obs.HistogramSnapshot, len(h.reqHists))
+	for p, hist := range h.reqHists {
+		hists[p] = hist.Snapshot()
+	}
+	codes := make(map[string]int64, len(h.reqCodes))
+	for k, v := range h.reqCodes {
+		codes[k] = v
+	}
+	h.reqMu.Unlock()
+	sort.Strings(patterns)
+	for _, p := range patterns {
+		mw.Histogram("mix_http_request_duration_seconds", "HTTP request latency per route pattern.", hists[p],
+			obs.Label{Name: "pattern", Value: p})
+	}
+	codeKeys := make([]string, 0, len(codes))
+	for k := range codes {
+		codeKeys = append(codeKeys, k)
+	}
+	sort.Strings(codeKeys)
+	for _, k := range codeKeys {
+		pattern, status, _ := strings.Cut(k, "|")
+		mw.Counter("mix_http_requests_total", "HTTP responses per route pattern and status.", float64(codes[k]),
+			obs.Label{Name: "pattern", Value: pattern},
+			obs.Label{Name: "status", Value: status})
+	}
+
+	tr := h.tracer
+	mw.Counter("mix_traces_recorded_total", "Request traces recorded into the /debug/trace ring.", float64(tr.Recorded()))
+	if err := mw.Err(); err != nil {
+		// The response is already partially written; nothing useful to do
+		// beyond noting it (typically a disconnected scraper).
+		h.logger.Warn("metrics write failed", slog.String("error", fmt.Sprint(err)))
+	}
+}

@@ -11,7 +11,9 @@
 //	GET  /sources                   list sources (text)
 //	GET  /sources/{name}/dtd        a source's DTD
 //	GET  /sources/{name}/outline    the source DTD as an annotated tree
-//	GET  /metrics                   mediator serving counters (JSON)
+//	GET  /metrics                   serving counters + latency histograms
+//	                                (JSON, or Prometheus text exposition)
+//	GET  /debug/trace               ring buffer of recent request traces
 //	POST /infer                     body: DOCTYPE + XMAS query; response:
 //	                                inferred s-DTD, plain DTD, classification
 //
@@ -21,6 +23,13 @@
 // query that fell back to the unsimplified path because the simplifier
 // failed. Handlers pass the request context down to the mediator, so a
 // disconnecting client cancels remote part-fetches.
+//
+// Every request runs inside a trace (internal/obs): the X-Mix-Trace-Id
+// request header is honored (or a fresh ID minted) and echoed on the
+// response, the request's spans — per-source fetches, inference runs,
+// budget charges — land in the ring buffer served by /debug/trace, and
+// the access log line carries the same ID, so a degraded or
+// breaker-tripped response correlates with the trace that produced it.
 package serve
 
 import (
@@ -28,14 +37,17 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strings"
+	"sync"
 
 	"repro/internal/browse"
 	"repro/internal/budget"
 	"repro/internal/dtd"
 	"repro/internal/infer"
 	"repro/internal/mediator"
+	"repro/internal/obs"
 	"repro/internal/xmas"
 	"repro/internal/xmlmodel"
 )
@@ -44,11 +56,45 @@ import (
 type Handler struct {
 	m   *mediator.Mediator
 	mux *http.ServeMux
+
+	tracer *obs.Tracer
+	logger *slog.Logger
+
+	// reqHists holds one latency histogram per route pattern, created on
+	// first hit (the route set is small and fixed).
+	reqMu    sync.Mutex
+	reqHists map[string]*obs.Histogram
+	// reqCodes counts responses per "pattern|status" for the Prometheus
+	// exposition's mix_http_requests_total.
+	reqCodes map[string]int64
 }
 
+// Option configures the handler.
+type Option func(*Handler)
+
+// WithTracer replaces the default request tracer (ring of
+// DefaultTraceCapacity traces).
+func WithTracer(t *obs.Tracer) Option { return func(h *Handler) { h.tracer = t } }
+
+// WithLogger sets the structured access/error logger (default: discard).
+func WithLogger(l *slog.Logger) Option { return func(h *Handler) { h.logger = l } }
+
+// DefaultTraceCapacity is the default /debug/trace ring size.
+const DefaultTraceCapacity = 128
+
 // New builds the HTTP facade for a mediator.
-func New(m *mediator.Mediator) *Handler {
-	h := &Handler{m: m, mux: http.NewServeMux()}
+func New(m *mediator.Mediator, opts ...Option) *Handler {
+	h := &Handler{
+		m:        m,
+		mux:      http.NewServeMux(),
+		tracer:   obs.NewTracer(DefaultTraceCapacity),
+		logger:   obs.DiscardLogger(),
+		reqHists: map[string]*obs.Histogram{},
+		reqCodes: map[string]int64{},
+	}
+	for _, o := range opts {
+		o(h)
+	}
 	h.mux.HandleFunc("GET /views", h.listViews)
 	h.mux.HandleFunc("GET /views/{name}", h.getView)
 	h.mux.HandleFunc("GET /views/{name}/dtd", h.getViewDTD)
@@ -59,13 +105,19 @@ func New(m *mediator.Mediator) *Handler {
 	h.mux.HandleFunc("GET /sources/{name}/dtd", h.getSourceDTD)
 	h.mux.HandleFunc("GET /sources/{name}/outline", h.getSourceOutline)
 	h.mux.HandleFunc("GET /metrics", h.getMetrics)
+	h.mux.HandleFunc("GET /debug/trace", h.getDebugTrace)
 	h.mux.HandleFunc("POST /infer", h.postInfer)
 	return h
 }
 
-// ServeHTTP implements http.Handler.
+// Tracer returns the handler's request tracer (the /debug/trace source).
+func (h *Handler) Tracer() *obs.Tracer { return h.tracer }
+
+// ServeHTTP implements http.Handler: every request runs inside a trace
+// span, gets its X-Mix-Trace-Id echoed, is access-logged, and lands in
+// the per-route latency histograms. See obs.go for the middleware.
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	h.mux.ServeHTTP(w, r)
+	h.serveObserved(w, r)
 }
 
 func (h *Handler) listViews(w http.ResponseWriter, r *http.Request) {
@@ -163,9 +215,16 @@ func (h *Handler) getSourceDTD(w http.ResponseWriter, r *http.Request) {
 }
 
 // getMetrics exposes the mediator's serving counters — cache hits/misses,
-// singleflight dedups, simplifier totals, per-view query counts/latency,
-// and wrapper retry counts — as a JSON snapshot.
+// singleflight dedups, simplifier totals, per-view query counts/latency
+// histograms, and wrapper retry counts. The default response is a JSON
+// snapshot; ?format=prometheus (or a scraper-style Accept header, see
+// wantsPrometheus) selects Prometheus text exposition format instead.
 func (h *Handler) getMetrics(w http.ResponseWriter, r *http.Request) {
+	if wantsPrometheus(r) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		h.writePrometheus(w)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

@@ -12,6 +12,7 @@ import (
 	"repro/internal/budget"
 	"repro/internal/dtd"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/regex"
 	"repro/internal/sdtd"
 	"repro/internal/xmas"
@@ -50,6 +51,16 @@ func EnumerateClasses(d *dtd.DTD, maxElems, limit int) []*xmlmodel.Element {
 // error, mirroring what a smaller `limit` would return.
 func EnumerateClassesContext(ctx context.Context, d *dtd.DTD, maxElems, limit int) ([]*xmlmodel.Element, error) {
 	bud := budget.FromContext(ctx)
+	// Class expansion is a budget charge site: route the charge stream to
+	// a span of its own so traces show the enumeration's class count —
+	// and, on exhaustion, where the truncation happened.
+	ctx, span := obs.StartSpan(ctx, "tightness.enumerate",
+		obs.String("root", d.Root), obs.Int("max_elems", int64(maxElems)), obs.Int("limit", int64(limit)))
+	defer span.End()
+	if span != nil && bud != nil {
+		bud.SetObserver(span)
+		defer bud.SetObserver(nil)
+	}
 	e := &enumerator{d: d, minSize: minSizes(d)}
 	name := d.Root
 	if limit <= 0 || e.minSize[name] < 0 || e.minSize[name] > maxElems {
@@ -58,6 +69,7 @@ func EnumerateClassesContext(ctx context.Context, d *dtd.DTD, maxElems, limit in
 	t := d.Types[name]
 	if t.PCDATA {
 		if bud.ChargeClasses(1) != nil {
+			span.Event("tightness.truncated", obs.Int("classes", 0))
 			return nil, nil
 		}
 		return []*xmlmodel.Element{xmlmodel.NewText(name, "s")}, nil
@@ -106,14 +118,17 @@ func EnumerateClassesContext(ctx context.Context, d *dtd.DTD, maxElems, limit in
 	for _, j := range jobs {
 		for _, kids := range j.kids {
 			if bud.ChargeClasses(1) != nil {
+				span.Event("tightness.truncated", obs.Int("classes", int64(len(out))))
 				return out, nil
 			}
 			out = append(out, xmlmodel.NewElement(name, kids...))
 			if len(out) >= limit {
+				span.SetAttr(obs.Int("classes", int64(len(out))))
 				return out, nil
 			}
 		}
 	}
+	span.SetAttr(obs.Int("classes", int64(len(out))))
 	return out, nil
 }
 

@@ -134,19 +134,19 @@ func TestParseQuotedID(t *testing.T) {
 func TestParseErrors(t *testing.T) {
 	bad := []string{
 		``,
-		`WHERE <a/>`,                              // no SELECT
-		`SELECT WHERE <a/>`,                       // missing var (WHERE eaten as var, then no WHERE)
-		`SELECT X`,                                // no WHERE
-		`SELECT X WHERE <a>`,                      // unterminated
-		`SELECT X WHERE X:<a></b>`,                // mismatched end
-		`SELECT X WHERE X:<a/> AND Y != Z`,        // unbound vars in !=
-		`SELECT X WHERE <a/>`,                     // pick var unbound
-		`SELECT X WHERE X:<a/> trailing`,          // trailing junk
-		`SELECT X WHERE X:<a id=1/>`,              // bad id value
-		`SELECT X WHERE X:<a>text<b/></a>`,        // text + subconditions
-		`SELECT X WHERE X:<a/> AND X != X`,        // trivially unsatisfiable
-		`SELECT X WHERE <a> X:<b/> X:<c/> </a>`,   // X bound twice
-		`SELECT X WHERE <|a> X:<b/> </>`,          // empty disjunct
+		`WHERE <a/>`,                            // no SELECT
+		`SELECT WHERE <a/>`,                     // missing var (WHERE eaten as var, then no WHERE)
+		`SELECT X`,                              // no WHERE
+		`SELECT X WHERE <a>`,                    // unterminated
+		`SELECT X WHERE X:<a></b>`,              // mismatched end
+		`SELECT X WHERE X:<a/> AND Y != Z`,      // unbound vars in !=
+		`SELECT X WHERE <a/>`,                   // pick var unbound
+		`SELECT X WHERE X:<a/> trailing`,        // trailing junk
+		`SELECT X WHERE X:<a id=1/>`,            // bad id value
+		`SELECT X WHERE X:<a>text<b/></a>`,      // text + subconditions
+		`SELECT X WHERE X:<a/> AND X != X`,      // trivially unsatisfiable
+		`SELECT X WHERE <a> X:<b/> X:<c/> </a>`, // X bound twice
+		`SELECT X WHERE <|a> X:<b/> </>`,        // empty disjunct
 	}
 	for _, s := range bad {
 		if q, err := Parse(s); err == nil {
