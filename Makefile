@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test vet race fault fuzz check bench bench-compare experiments cover clean fmt ci
+.PHONY: all build test vet lint race fault fuzz check bench bench-compare bench-prune experiments cover clean fmt ci
 
 all: build vet test
 
@@ -9,6 +9,17 @@ build:
 
 vet:
 	go vet ./...
+
+# Static analysis beyond vet. staticcheck is not vendored (no new module
+# dependencies); the target uses an installed binary when present and
+# otherwise runs it via `go run` (network download), which is what the CI
+# lint job does.
+lint:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		go run honnef.co/go/tools/cmd/staticcheck@2025.1 ./...; \
+	fi
 
 # Tier-1 verification; `make race` is the concurrency-hardened variant of
 # the same suite (vet + race-enabled tests) and should be run alongside it
@@ -57,6 +68,13 @@ bench:
 # cache's figure of merit.
 bench-compare:
 	go test -run '^$$' -bench . -benchmem ./internal/automata | go run ./cmd/benchjson | tee BENCH_automata.json
+
+# Archive the query-time pruning benchmarks (Cold = pruning disabled,
+# every source fetched; Warm = pruning enabled, provably-irrelevant
+# sources skipped) as JSON with the cold/warm speedup factor. Compare
+# BENCH_prune.json across commits to track pruning's figure of merit.
+bench-prune:
+	go test -run '^$$' -bench BenchmarkPruneUnionQuery -benchmem ./internal/mediator | go run ./cmd/benchjson | tee BENCH_prune.json
 
 # Regenerate every paper artifact (EXPERIMENTS.md).
 experiments:

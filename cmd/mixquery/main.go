@@ -7,11 +7,14 @@
 // Usage:
 //
 //	mixquery -query view.xmas [-doc data.xml] [-dtd source.dtd]
-//	         [-no-simplify] [-indent N] [-validate]
+//	         [-no-simplify] [-indent N] [-validate] [-sat]
 //
 // With no -doc the document is read from standard input. -validate also
 // infers the view DTD and checks the result against it (soundness in
-// action); it requires a DTD.
+// action); it requires a DTD. -sat skips evaluation entirely: it decides
+// the query's satisfiability against the -dtd DTD, prints the verdict and
+// the DTD's tractable class, and exits 0 (satisfiable), 2 (unsatisfiable)
+// or 3 (unknown).
 package main
 
 import (
@@ -30,6 +33,7 @@ func main() {
 	docPath := flag.String("doc", "", "path to the XML document (default: stdin)")
 	dtdPath := flag.String("dtd", "", "path to a DTD overriding the document's DOCTYPE")
 	noSimplify := flag.Bool("no-simplify", false, "skip DTD-based query simplification")
+	satOnly := flag.Bool("sat", false, "only decide satisfiability against the DTD: print the verdict and DTD class, exit 0=satisfiable 2=unsatisfiable 3=unknown")
 	indent := flag.Int("indent", 2, "output indentation (negative = compact)")
 	validate := flag.Bool("validate", false, "infer the view DTD and validate the result against it")
 	explain := flag.Bool("explain", false, "print the DTD-aware explain plan to stderr before evaluating")
@@ -47,6 +51,30 @@ func main() {
 	q, err := mix.ParseQuery(string(qText))
 	if err != nil {
 		fatal(err)
+	}
+	if *satOnly {
+		// Satisfiability needs no document: decide against the DTD alone
+		// and encode the three-valued verdict in the exit status.
+		if *dtdPath == "" {
+			fatal(fmt.Errorf("-sat requires -dtd"))
+		}
+		b, err := os.ReadFile(*dtdPath)
+		if err != nil {
+			fatal(err)
+		}
+		d, err := mix.ParseDTD(string(b))
+		if err != nil {
+			fatal(err)
+		}
+		verdict := mix.Satisfiability(context.Background(), q, d)
+		fmt.Printf("verdict: %s\ndtd class: %s\n", verdict, mix.ClassifyDTD(d))
+		switch verdict {
+		case mix.VerdictUnsatisfiable:
+			os.Exit(2)
+		case mix.VerdictUnknown:
+			os.Exit(3)
+		}
+		return
 	}
 	var docText []byte
 	if *docPath == "" {
@@ -116,7 +144,7 @@ func main() {
 		}
 		if rep.Class == mix.Unsatisfiable {
 			fmt.Fprintln(os.Stderr, "mixquery: query is unsatisfiable under the DTD; result is empty")
-			fmt.Println(mix.MarshalDocument(&mix.Document{DocType: q.Name, Root: &mix.Element{Name: q.Name}}, nil, *indent))
+			fmt.Println(mix.MarshalDocument(mix.EmptyResult(q), nil, *indent))
 			return
 		}
 		if rep.PrunedConditions > 0 || rep.DroppedNames > 0 {

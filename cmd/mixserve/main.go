@@ -60,6 +60,7 @@ func main() {
 	logFormat := flag.String("log-format", "text", "structured log format: text or json")
 	traceBuffer := flag.Int("trace-buffer", serve.DefaultTraceCapacity, "number of recent request traces kept for /debug/trace")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof profiling endpoints under /debug/pprof/")
+	noPrune := flag.Bool("no-prune", false, "disable query-time per-part satisfiability pruning (sources are always fetched)")
 	var sources, views repeated
 	flag.Var(&sources, "source", "source as name=file.xml (repeatable); the file must carry a DOCTYPE internal subset")
 	flag.Var(&views, "view", "view as source:file.xmas (repeatable)")
@@ -85,6 +86,10 @@ func main() {
 	}
 
 	m := mix.NewMediator(*name)
+	if *noPrune {
+		m.SetPruning(false)
+		log.Printf("query-time satisfiability pruning disabled")
+	}
 	if limits := limitsOf(); !limits.Unlimited() {
 		// Applies to every subsequent view definition and to POST /infer:
 		// inference that exhausts the budget degrades to a sound-but-looser

@@ -8,6 +8,9 @@
 //   - sibling conditions bind to distinct children of their parent's match
 //     (the paper's Section 4.2 assumption), and "!=" constraints require
 //     the bound elements' IDs to differ;
+//   - a qualifier condition ([<journal/>]) is an existential filter: it
+//     must embed into some child but does not consume one, so it is exempt
+//     from the distinct-children rule;
 //   - a recursive step <name*> matches along a chain of name-elements of
 //     any depth (Example 3.5).
 //
@@ -39,11 +42,21 @@ func Eval(q *xmas.Query, doc *xmlmodel.Document) (*xmlmodel.Document, error) {
 	if err != nil {
 		return nil, err
 	}
-	root := &xmlmodel.Element{Name: q.Name}
+	out := EmptyResult(q)
 	for _, e := range picks {
-		root.Children = append(root.Children, e.Clone())
+		out.Root.Children = append(out.Root.Children, e.Clone())
 	}
-	return &xmlmodel.Document{DocType: q.Name, Root: root}, nil
+	return out, nil
+}
+
+// EmptyResult returns the view document Eval produces when no element
+// binds the pick-variable: a childless root named by the view. Fast paths
+// that answer a query without evaluating it (the mediator's unsatisfiable
+// skip, per-part pruning that drops every part) MUST build their result
+// through this function so their output is bit-identical to a genuine
+// zero-match evaluation.
+func EmptyResult(q *xmas.Query) *xmlmodel.Document {
+	return &xmlmodel.Document{DocType: q.Name, Root: &xmlmodel.Element{Name: q.Name}}
 }
 
 // EvalElements returns the elements (of the original document, not copies)
@@ -243,26 +256,34 @@ func (m *matcher) embedHere(c *xmas.Cond, e *xmlmodel.Element, en *env) bool {
 	return false
 }
 
-// assignChildren finds an injective assignment of the conditions to the
-// children, each assigned pair embedding successfully.
+// assignChildren finds an injective assignment of the non-qualifier
+// conditions to the children, each assigned pair embedding successfully.
+// Qualifier conditions are existential: they must embed into some child
+// but do not consume it, so they never compete with siblings (or each
+// other) for a witness. They still take part in the backtracking so that
+// a variable bound under a qualifier can drive "!=" constraints.
 func (m *matcher) assignChildren(conds []*xmas.Cond, kids []*xmlmodel.Element, i int, used map[int]bool, en *env) bool {
 	if i == len(conds) {
 		return true
 	}
 	c := conds[i]
 	for j, k := range kids {
-		if used[j] {
+		if !c.Qualifier && used[j] {
 			continue
 		}
 		if !m.quickName(c, k) {
 			continue
 		}
 		if m.embed(c, k, en) {
-			used[j] = true
+			if !c.Qualifier {
+				used[j] = true
+			}
 			if m.assignChildren(conds, kids, i+1, used, en) {
 				return true
 			}
-			used[j] = false
+			if !c.Qualifier {
+				used[j] = false
+			}
 			// embed left bindings in place on success only; on the failed
 			// continuation we must undo them.
 			m.unbindSubtree(c, en)
@@ -323,7 +344,8 @@ func (m *matcher) structuralHere(c *xmas.Cond, e *xmlmodel.Element) bool {
 		return false
 	}
 	// Injective feasibility via backtracking on the (small) bipartite
-	// compatibility relation.
+	// compatibility relation. Qualifier children are existential and do
+	// not consume a child slot.
 	var rec func(i int, used map[int]bool) bool
 	rec = func(i int, used map[int]bool) bool {
 		if i == len(c.Children) {
@@ -331,11 +353,14 @@ func (m *matcher) structuralHere(c *xmas.Cond, e *xmlmodel.Element) bool {
 		}
 		cc := c.Children[i]
 		for j, k := range e.Children {
-			if used[j] || !cc.MatchesName(k.Name) {
+			if (!cc.Qualifier && used[j]) || !cc.MatchesName(k.Name) {
 				continue
 			}
 			if !m.structuralMatchChild(cc, k) {
 				continue
+			}
+			if cc.Qualifier {
+				return rec(i+1, used)
 			}
 			used[j] = true
 			if rec(i+1, used) {

@@ -142,3 +142,36 @@ func TestWildcardRecursiveStep(t *testing.T) {
 		t.Errorf("picks = %v", picks)
 	}
 }
+
+// Qualifier semantics (Section 4.2 analogue of XPath qualifiers): a
+// bracketed condition filters the parent existentially but never claims a
+// child slot of its own — in particular it may share its witness with a
+// regular sibling condition.
+func TestQualifierFiltersWithoutConsuming(t *testing.T) {
+	doc := parseDoc(t, `<lib>
+	  <item id="i1"><book/></item>
+	  <item id="i2"><disc/></item>
+	</lib>`)
+	// Only items that (existentially) hold a book qualify.
+	ids := pickIDs(t, `r = SELECT X WHERE <lib> X:<item> [<book/>] </item> </lib>`, doc)
+	if len(ids) != 1 || ids[0] != "i1" {
+		t.Errorf("qualifier pick = %v, want [i1]", ids)
+	}
+}
+
+func TestQualifierSharesWitnessWithSibling(t *testing.T) {
+	// i1 has a single book child. The regular <book/> condition consumes
+	// it; the qualifier [<book/>] must still be satisfiable by that same
+	// child (qualifiers do not compete for distinct children), so i1
+	// matches. Two regular <book/> siblings, by contrast, need two
+	// distinct children and must reject i1.
+	doc := parseDoc(t, `<lib><item id="i1"><book/></item></lib>`)
+	shared := pickIDs(t, `r = SELECT X WHERE <lib> X:<item> <book/> [<book/>] </item> </lib>`, doc)
+	if len(shared) != 1 || shared[0] != "i1" {
+		t.Errorf("shared-witness pick = %v, want [i1]", shared)
+	}
+	distinct := pickIDs(t, `r = SELECT X WHERE <lib> X:<item> <book/> <book/> </item> </lib>`, doc)
+	if len(distinct) != 0 {
+		t.Errorf("two regular conditions matched a single child: %v", distinct)
+	}
+}

@@ -308,10 +308,14 @@ func (in *inferencer) tightenCond(c *xmas.Cond) map[string]*spec {
 
 // childSel is one child condition's contribution to its parent's
 // refinement: the names it can match (with their allocated tags) and its
-// own classification.
+// own classification. Qualifier children carry the qualifier flag: they
+// are existential filters that never join the injective distinct-children
+// assignment, so they must not refine the content model — they only gate
+// the classification.
 type childSel struct {
-	sel   map[string]regex.Name
-	class Class
+	sel       map[string]regex.Name
+	class     Class
+	qualifier bool
 }
 
 // refineWith computes the per-name specializations of condition c using the
@@ -324,7 +328,7 @@ func (in *inferencer) refineWith(c *xmas.Cond, children []*xmas.Cond) map[string
 	var sels []childSel
 	for _, cc := range children {
 		specs := in.tightenCond(cc)
-		cs := childSel{sel: map[string]regex.Name{}, class: Valid}
+		cs := childSel{sel: map[string]regex.Name{}, class: Valid, qualifier: cc.Qualifier}
 		for _, base := range sortedKeys(specs) {
 			sp := specs[base]
 			if sp.class == Unsatisfiable {
@@ -410,8 +414,13 @@ func (in *inferencer) computeSpec(c *xmas.Cond, children []*xmas.Cond, sels []ch
 		degraded := false
 		for _, cs := range sels {
 			if cs.class == Unsatisfiable {
+				// A child no name can satisfy (qualifier or not) makes the
+				// whole condition unsatisfiable here.
 				t = regex.Bot()
 				break
+			}
+			if cs.qualifier {
+				continue // existential: handled below, never refines the model
 			}
 			if err := in.bud.ChargeRefine(int64(regex.Size(t))); err != nil {
 				degraded = true
@@ -432,6 +441,35 @@ func (in *inferencer) computeSpec(c *xmas.Cond, children []*xmas.Cond, sels []ch
 			break
 		}
 		if regex.IsFail(t) {
+			sp.class = Unsatisfiable
+			break
+		}
+		// Qualifiers: keeping the model unrefined is sound (a superset of
+		// the exact language), but the classification must account for
+		// them. A qualifier none of whose admissible names can occur among
+		// the children is unsatisfiable here; a possible one is never
+		// guaranteed by the DTD alone, so Valid degrades to Satisfiable.
+		qualUnsat := false
+		for _, cs := range sels {
+			if !cs.qualifier || cs.class == Unsatisfiable {
+				continue
+			}
+			present := false
+			for _, m := range regex.Names(t) {
+				if _, ok := cs.sel[m.Base]; ok {
+					present = true
+					break
+				}
+			}
+			if !present {
+				qualUnsat = true
+				break
+			}
+			if class == Valid {
+				class = Satisfiable
+			}
+		}
+		if qualUnsat {
 			sp.class = Unsatisfiable
 			break
 		}

@@ -83,11 +83,12 @@ func simplifyCond(in *inferencer, orig, clone *xmas.Cond, src *dtd.DTD, rep *Sim
 			clone.Names = kept
 		}
 	}
-	// Prune valid, binding-free side conditions.
+	// Prune valid, binding-free side conditions. A qualifier never competes
+	// with siblings for a witness child, so it skips the disjointness guard.
 	var keptKids []*xmas.Cond
 	for i, oc := range orig.Children {
 		cc := clone.Children[i]
-		if isPrunable(in, orig, oc) && namesDisjointFromSiblings(orig, i) {
+		if isPrunable(in, orig, oc) && (oc.Qualifier || namesDisjointFromSiblings(orig, i)) {
 			rep.PrunedConditions++
 			continue
 		}
@@ -104,7 +105,9 @@ func simplifyCond(in *inferencer, orig, clone *xmas.Cond, src *dtd.DTD, rep *Sim
 func namesDisjointFromSiblings(parent *xmas.Cond, idx int) bool {
 	c := parent.Children[idx]
 	for j, sib := range parent.Children {
-		if j == idx {
+		if j == idx || sib.Qualifier {
+			// Qualifier siblings never claim a distinct child, so overlap
+			// with them cannot weaken the distinctness requirement.
 			continue
 		}
 		if len(c.Names) == 0 || len(sib.Names) == 0 {

@@ -164,3 +164,43 @@ func TestSimplifyPreservesSemantics(t *testing.T) {
 		}
 	}
 }
+
+// A qualifier the DTD guarantees for every parent is redundant and gets
+// pruned — without the sibling-disjointness guard, since qualifiers never
+// claim a distinct witness child. A qualifier the DTD merely allows stays.
+func TestSimplifyPrunesGuaranteedQualifier(t *testing.T) {
+	const libText = `<!DOCTYPE library [
+	  <!ELEMENT library (item*)>
+	  <!ELEMENT item (book, note?)>
+	  <!ELEMENT book (#PCDATA)>
+	  <!ELEMENT note (#PCDATA)>
+	]>`
+	q := xmas.MustParse(`r = SELECT X WHERE <library> X:<item> <book/> [<book/>] </item> </library>`)
+	out, rep, err := SimplifyQuery(q, mustDTD(t, libText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every item has a book, so the qualifier is vacuous — and so is the
+	// regular <book/> condition (its only sibling is a qualifier, which
+	// never competes for a witness, so disjointness cannot be weakened).
+	if rep.PrunedConditions != 2 {
+		t.Errorf("pruned = %d, want 2 (both book conditions)\n%s", rep.PrunedConditions, out)
+	}
+	if item := out.Root.Children[0]; len(item.Children) != 0 {
+		t.Errorf("guaranteed conditions survived simplification:\n%s", out)
+	}
+
+	// note is optional: [<note/>] is observable and must survive.
+	q2 := xmas.MustParse(`r = SELECT X WHERE <library> X:<item> [<note/>] </item> </library>`)
+	out2, rep2, err := SimplifyQuery(q2, mustDTD(t, libText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.PrunedConditions != 0 {
+		t.Errorf("optional qualifier pruned (changes the answer):\n%s", out2)
+	}
+	item2 := out2.Root.Children[0]
+	if len(item2.Children) != 1 || !item2.Children[0].Qualifier {
+		t.Errorf("qualifier lost: %s", out2)
+	}
+}

@@ -50,6 +50,7 @@ type FaultSource struct {
 	next   int
 
 	injected atomic.Int64
+	fetches  atomic.Int64
 }
 
 // NewFaultSource wraps w with the given fault script.
@@ -77,6 +78,11 @@ func RandomFaults(seed int64, n int, p float64, maxDelay time.Duration, err erro
 // Injected reports how many faults (errors) have been injected so far.
 func (s *FaultSource) Injected() int64 { return s.injected.Load() }
 
+// Fetches reports how many Fetch calls have reached this source (faulted
+// or not). Pruning tests use it to assert that a pruned source was never
+// contacted at all.
+func (s *FaultSource) Fetches() int64 { return s.fetches.Load() }
+
 // Name implements Wrapper.
 func (s *FaultSource) Name() string { return s.inner.Name() }
 
@@ -93,6 +99,7 @@ func (s *FaultSource) Retries() int64 {
 
 // Fetch implements Wrapper, consuming the next script entry.
 func (s *FaultSource) Fetch(ctx context.Context) (*xmlmodel.Document, error) {
+	s.fetches.Add(1)
 	s.mu.Lock()
 	var f Fault
 	if s.next < len(s.script) {

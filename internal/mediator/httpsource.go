@@ -2,8 +2,10 @@ package mediator
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"strings"
 	"sync/atomic"
@@ -26,9 +28,22 @@ const (
 	// round trips).
 	DefaultHTTPRetries = 2
 	// DefaultHTTPBackoff is the delay before the first retry; it doubles
-	// on each subsequent retry.
+	// on each subsequent retry, up to DefaultHTTPMaxBackoff.
 	DefaultHTTPBackoff = 100 * time.Millisecond
+	// DefaultHTTPMaxBackoff caps the exponential backoff: without a cap,
+	// generous retry counts double past any useful delay (and eventually
+	// past the int64 range of time.Duration).
+	DefaultHTTPMaxBackoff = 30 * time.Second
+	// maxResponseBytes bounds how much of a remote response is read. A
+	// response exceeding it fails with ErrBodyTooLarge instead of being
+	// silently truncated into a parse error (or worse, into a shorter
+	// well-formed document).
+	maxResponseBytes = 16 << 20
 )
+
+// ErrBodyTooLarge reports a remote response larger than maxResponseBytes.
+// It is not retryable: the remote will answer the same way again.
+var ErrBodyTooLarge = errors.New("response body exceeds 16 MiB limit")
 
 // HTTPSource is a wrapper over a remote mediator view served over HTTP
 // (see internal/serve): the distributed form of mediator stacking. The
@@ -51,7 +66,11 @@ type HTTPSource struct {
 
 	maxRetries int
 	backoff    time.Duration
+	maxBackoff time.Duration
 	retries    atomic.Int64
+	// sleep waits between retries (honoring ctx); tests inject a stub to
+	// observe the requested delays without actually waiting.
+	sleep func(ctx context.Context, d time.Duration) error
 }
 
 // HTTPOption configures an HTTPSource.
@@ -67,11 +86,21 @@ func WithRetries(n int) HTTPOption {
 	}
 }
 
-// WithBackoff sets the delay before the first retry (doubled per retry).
+// WithBackoff sets the delay before the first retry (doubled per retry,
+// capped by WithMaxBackoff).
 func WithBackoff(d time.Duration) HTTPOption {
 	return func(s *HTTPSource) {
 		if d > 0 {
 			s.backoff = d
+		}
+	}
+}
+
+// WithMaxBackoff caps the exponential retry backoff.
+func WithMaxBackoff(d time.Duration) HTTPOption {
+	return func(s *HTTPSource) {
+		if d > 0 {
+			s.maxBackoff = d
 		}
 	}
 }
@@ -93,6 +122,15 @@ func NewHTTPSource(client *http.Client, baseURL, view string, opts ...HTTPOption
 		viewURL:    base + "/views/" + view,
 		maxRetries: DefaultHTTPRetries,
 		backoff:    DefaultHTTPBackoff,
+		maxBackoff: DefaultHTTPMaxBackoff,
+	}
+	s.sleep = func(ctx context.Context, d time.Duration) error {
+		select {
+		case <-time.After(d):
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
 	}
 	for _, opt := range opts {
 		opt(s)
@@ -142,15 +180,23 @@ func (s *HTTPSource) Fetch(ctx context.Context) (*xmlmodel.Document, error) {
 }
 
 // get performs a GET with bounded retries: transport errors and 5xx
-// responses back off exponentially and retry up to maxRetries times; any
-// other non-200 fails immediately. Cancellation of ctx cuts both the
-// in-flight request (via the request context) and the backoff sleeps.
+// responses back off exponentially (doubling up to maxBackoff, with
+// equal-jitter randomization so a fleet of sources retrying the same dead
+// remote does not synchronize) and retry up to maxRetries times; any
+// other non-200, and an oversized body (ErrBodyTooLarge), fail
+// immediately. Cancellation of ctx cuts both the in-flight request (via
+// the request context) and the backoff sleeps.
 func (s *HTTPSource) get(ctx context.Context, url string) (string, error) {
 	var lastErr error
 	backoff := s.backoff
+	if backoff > s.maxBackoff {
+		backoff = s.maxBackoff
+	}
 	for attempt := 0; ; attempt++ {
 		body, status, err := s.tryGet(ctx, url)
 		switch {
+		case errors.Is(err, ErrBodyTooLarge):
+			return "", fmt.Errorf("GET %s: %w", url, err)
 		case err != nil:
 			lastErr = err
 		case status == http.StatusOK:
@@ -163,14 +209,25 @@ func (s *HTTPSource) get(ctx context.Context, url string) (string, error) {
 		if attempt >= s.maxRetries || ctx.Err() != nil {
 			return "", lastErr
 		}
-		select {
-		case <-time.After(backoff):
-		case <-ctx.Done():
+		if s.sleep(ctx, jitter(backoff)) != nil {
 			return "", lastErr
 		}
-		backoff *= 2
+		if backoff <= s.maxBackoff/2 {
+			backoff *= 2 // doubling past maxBackoff/2 would exceed the cap
+		} else {
+			backoff = s.maxBackoff
+		}
 		s.retries.Add(1)
 	}
+}
+
+// jitter spreads a backoff delay over [d/2, d] (equal jitter): the cap
+// stays a true upper bound while concurrent retriers decorrelate.
+func jitter(d time.Duration) time.Duration {
+	if d <= 1 {
+		return d
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
 }
 
 func (s *HTTPSource) tryGet(ctx context.Context, url string) (string, int, error) {
@@ -183,9 +240,15 @@ func (s *HTTPSource) tryGet(ctx context.Context, url string) (string, int, error
 		return "", 0, err
 	}
 	defer resp.Body.Close()
-	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	// Read one byte past the limit: exactly-at-the-limit bodies are legal,
+	// and anything longer is detected as oversized rather than silently
+	// truncated into a parse failure on a cut-off document.
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes+1))
 	if err != nil {
 		return "", 0, err
+	}
+	if len(body) > maxResponseBytes {
+		return "", resp.StatusCode, ErrBodyTooLarge
 	}
 	return string(body), resp.StatusCode, nil
 }

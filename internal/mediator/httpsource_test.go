@@ -2,6 +2,7 @@ package mediator
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -166,5 +167,100 @@ func TestHTTPSourceRetriesRegistration(t *testing.T) {
 	}
 	if !strings.Contains(src.Name(), "/views/v") {
 		t.Errorf("name = %q", src.Name())
+	}
+}
+
+// TestHTTPSourceBodyTooLarge: an oversized remote response fails fast with
+// ErrBodyTooLarge — one attempt, no retries — instead of being silently
+// truncated into a parse error on a cut-off document.
+func TestHTTPSourceBodyTooLarge(t *testing.T) {
+	var calls atomic.Int64
+	srv := remoteView(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		_, _ = w.Write(make([]byte, maxResponseBytes+1))
+	})
+	defer srv.Close()
+
+	src, err := NewHTTPSource(nil, srv.URL, "v", WithRetries(3), WithBackoff(time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = src.Fetch(context.Background())
+	if !errors.Is(err, ErrBodyTooLarge) {
+		t.Fatalf("err = %v, want ErrBodyTooLarge", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("oversized view fetched %d times, want 1 (not retryable)", got)
+	}
+	if got := src.Retries(); got != 0 {
+		t.Errorf("retries = %d, want 0", got)
+	}
+}
+
+// TestHTTPSourceBodyAtLimit: a response of exactly maxResponseBytes is
+// legal — the detector reads one byte past the limit, it does not truncate
+// at it.
+func TestHTTPSourceBodyAtLimit(t *testing.T) {
+	head := "<members><professor>"
+	tail := "</professor></members>"
+	text := strings.Repeat("x", maxResponseBytes-len(head)-len(tail))
+	srv := remoteView(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = fmt.Fprint(w, head, text, tail)
+	})
+	defer srv.Close()
+
+	src, err := NewHTTPSource(nil, srv.URL, "v", WithRetries(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := src.Fetch(context.Background())
+	if err != nil {
+		t.Fatalf("a body of exactly the limit must succeed: %v", err)
+	}
+	if len(doc.Root.Children) != 1 || len(doc.Root.Children[0].Text) != len(text) {
+		t.Error("at-limit document did not round-trip intact")
+	}
+}
+
+// TestHTTPSourceBackoffCapAndJitter: against a persistently failing
+// remote, the requested sleeps double from the base, stay within the
+// equal-jitter envelope [d/2, d], and never exceed the configured cap.
+// A stub sleeper observes the delays without actually waiting.
+func TestHTTPSourceBackoffCapAndJitter(t *testing.T) {
+	srv := remoteView(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "down for good", http.StatusInternalServerError)
+	})
+	defer srv.Close()
+
+	const base, cap = 4 * time.Second, 10 * time.Second
+	src, err := NewHTTPSource(nil, srv.URL, "v",
+		WithRetries(5), WithBackoff(base), WithMaxBackoff(cap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var delays []time.Duration
+	src.sleep = func(ctx context.Context, d time.Duration) error {
+		delays = append(delays, d)
+		return nil
+	}
+	if _, err := src.Fetch(context.Background()); err == nil {
+		t.Fatal("fetch from a dead remote must fail")
+	}
+	if len(delays) != 5 {
+		t.Fatalf("slept %d times, want 5 (one per retry)", len(delays))
+	}
+	// Raw backoff sequence: 4s, 8s, 10s, 10s, 10s (doubling, then capped);
+	// jitter keeps each sleep within [raw/2, raw].
+	want := []time.Duration{base, 2 * base, cap, cap, cap}
+	for i, d := range delays {
+		if d < want[i]/2 || d > want[i] {
+			t.Errorf("sleep %d = %v, want within [%v, %v]", i, d, want[i]/2, want[i])
+		}
+		if d > cap {
+			t.Errorf("sleep %d = %v exceeds the %v cap", i, d, cap)
+		}
+	}
+	if got := src.Retries(); got != 5 {
+		t.Errorf("retries = %d, want 5", got)
 	}
 }

@@ -99,10 +99,20 @@ func (s *StaticSource) Fetch(ctx context.Context) (*xmlmodel.Document, error) {
 func (s *StaticSource) Schema() *dtd.DTD { return s.DTD }
 
 // ViewPart is one branch of a (possibly multi-source) view: a pick-element
-// query against one named source.
+// query against one named source. Callers of DefineUnionView populate
+// Source and Query; the mediator fills the rest at definition time.
 type ViewPart struct {
 	Source string
 	Query  *xmas.Query
+	// DTD is the part's inferred view DTD: it describes the documents this
+	// part alone would contribute under the view root. Query-time pruning
+	// tests the incoming query's root conditions against it — a part whose
+	// DTD refutes every condition cannot contribute to the answer and its
+	// source is not fetched.
+	DTD *dtd.DTD
+	// Class is the part's classification against its source DTD; an
+	// Unsatisfiable part is always empty and always prunable.
+	Class infer.Class
 }
 
 // View is a registered view: its definition and the DTDs inferred for it.
@@ -146,6 +156,13 @@ type QueryStats struct {
 	// MaterializeInfo); internal/serve surfaces this as X-Mix-Degraded.
 	Degraded        bool
 	DegradedSources []string
+	// PrunedSources names the sources whose parts were proven unable to
+	// contribute to this query's answer and were therefore never fetched
+	// (sorted, deduplicated). Pruning is NOT degradation: the answer is
+	// exactly what the unpruned evaluation would produce, so it does not
+	// set Degraded, does not trip breakers, and prunes are cacheable.
+	// internal/serve surfaces this as X-Mix-Pruned-Sources.
+	PrunedSources []string
 }
 
 // MaterializeInfo reports how a materialization went beyond its document:
@@ -159,6 +176,12 @@ type MaterializeInfo struct {
 	Degraded bool
 	// DegradedSources names the sources whose parts were dropped, sorted.
 	DegradedSources []string
+	// PrunedSources names the sources whose parts were skipped by
+	// query-time satisfiability pruning (sorted). Unlike DegradedSources
+	// this is a correctness-preserving omission — the skipped parts were
+	// proven empty for the query at hand — so pruned materializations are
+	// cached (under a mask-specific key) and are not marked Degraded.
+	PrunedSources []string
 }
 
 // inflightCall is one in-progress materialization; followers wait on done
@@ -188,6 +211,9 @@ type Mediator struct {
 	// inferLimits bounds the view DTD inference run at view-definition time
 	// (zero value: unlimited). See SetInferenceBudget.
 	inferLimits budget.Limits
+	// noPrune disables query-time per-part satisfiability pruning (see
+	// prune.go; default: pruning on).
+	noPrune bool
 
 	stats statsCounters
 }
@@ -309,7 +335,7 @@ func (m *Mediator) DefineUnionView(name string, parts []ViewPart) (*View, error)
 			v.NonTight = true
 		}
 		classes = append(classes, res.Class)
-		v.Parts = append(v.Parts, ViewPart{Source: p.Source, Query: q})
+		v.Parts = append(v.Parts, ViewPart{Source: p.Source, Query: q, DTD: res.DTD, Class: res.Class})
 	}
 	// Union classification: the view is guaranteed non-empty when some
 	// part's condition is valid; possibly non-empty when some part is
@@ -388,14 +414,50 @@ func (m *Mediator) Materialize(ctx context.Context, viewName string) (*xmlmodel.
 // view — and the info says so. Degraded documents are never cached, so the
 // first materialization after the breaker closes is complete again.
 func (m *Mediator) MaterializeInfo(ctx context.Context, viewName string) (*xmlmodel.Document, *MaterializeInfo, error) {
+	return m.materializeMasked(ctx, viewName, nil)
+}
+
+// maskKey is the materialization-cache key for a (view, keep-mask) pair.
+// The full view keeps its historical bare-name key; pruned variants get a
+// composite key so a prune for one query can never serve another query's
+// (or the full) materialization.
+func maskKey(viewName string, keep []bool) string {
+	if keep == nil {
+		return viewName
+	}
+	b := make([]byte, 0, len(viewName)+1+len(keep))
+	b = append(b, viewName...)
+	b = append(b, 0)
+	for _, k := range keep {
+		if k {
+			b = append(b, '1')
+		} else {
+			b = append(b, '0')
+		}
+	}
+	return string(b)
+}
+
+// materializeMasked is MaterializeInfo restricted to the parts selected by
+// keep (nil keeps everything). Skipped parts are never fetched — that is
+// the point of pruning — and the result is cached under a mask-specific
+// key with the same singleflight/generation discipline as the full view.
+func (m *Mediator) materializeMasked(ctx context.Context, viewName string, keep []bool) (*xmlmodel.Document, *MaterializeInfo, error) {
+	key := maskKey(viewName, keep)
 	m.mu.Lock()
-	if doc, ok := m.matCache[viewName]; ok {
+	v, ok := m.views[viewName]
+	if !ok {
+		m.mu.Unlock()
+		return nil, nil, fmt.Errorf("mediator: %w %s", ErrUnknownView, viewName)
+	}
+	pruned := prunedSources(v, keep)
+	if doc, ok := m.matCache[key]; ok {
 		m.mu.Unlock()
 		m.stats.add(&m.stats.cacheHits, 1)
 		obs.AddEvent(ctx, "materialize.cache_hit", obs.String("view", viewName))
-		return doc, &MaterializeInfo{}, nil
+		return doc, &MaterializeInfo{PrunedSources: pruned}, nil
 	}
-	if c, ok := m.inflight[viewName]; ok {
+	if c, ok := m.inflight[key]; ok {
 		m.mu.Unlock()
 		m.stats.add(&m.stats.dedups, 1)
 		obs.AddEvent(ctx, "materialize.singleflight_join", obs.String("view", viewName))
@@ -406,24 +468,22 @@ func (m *Mediator) MaterializeInfo(ctx context.Context, viewName string) (*xmlmo
 			return nil, nil, ctx.Err()
 		}
 	}
-	v, ok := m.views[viewName]
-	if !ok {
-		m.mu.Unlock()
-		return nil, nil, fmt.Errorf("mediator: %w %s", ErrUnknownView, viewName)
-	}
 	wrappers := make([]Wrapper, len(v.Parts))
 	for i, p := range v.Parts {
 		wrappers[i] = m.wrappers[p.Source]
 	}
 	call := &inflightCall{gen: m.gen, done: make(chan struct{})}
-	m.inflight[viewName] = call
+	m.inflight[key] = call
 	m.mu.Unlock()
 
 	m.stats.add(&m.stats.cacheMisses, 1)
 	mctx, span := obs.StartSpan(ctx, "materialize",
 		obs.String("view", viewName), obs.Int("parts", int64(len(v.Parts))))
+	if len(pruned) > 0 {
+		span.SetAttr(obs.String("pruned_sources", strings.Join(pruned, ",")))
+	}
 	start := time.Now()
-	doc, info, err := m.evaluate(mctx, v, wrappers)
+	doc, info, err := m.evaluate(mctx, v, wrappers, keep)
 	m.stats.recordMaterialize(viewName, time.Since(start))
 	if err == nil && info.Degraded {
 		m.stats.add(&m.stats.degradedMaterializations, 1)
@@ -441,12 +501,13 @@ func (m *Mediator) MaterializeInfo(ctx context.Context, viewName string) (*xmlmo
 	// The entry may already have been detached by Invalidate; only remove
 	// it when it is still ours, and only cache complete results from the
 	// current generation (the stale write-back guard; degraded documents
-	// must not outlive the outage that shaped them).
-	if m.inflight[viewName] == call {
-		delete(m.inflight, viewName)
+	// must not outlive the outage that shaped them). Pruned-but-complete
+	// results are cached: the omission is a proof, not an outage.
+	if m.inflight[key] == call {
+		delete(m.inflight, key)
 	}
 	if err == nil && !info.Degraded && call.gen == m.gen {
-		m.matCache[viewName] = doc
+		m.matCache[key] = doc
 	} else if err == nil && !info.Degraded {
 		stale = true
 	}
@@ -458,14 +519,40 @@ func (m *Mediator) MaterializeInfo(ctx context.Context, viewName string) (*xmlmo
 	return doc, info, err
 }
 
+// prunedSources lists the source names of masked-out parts, sorted and
+// deduplicated (a source is pruned only if every one of its parts is).
+func prunedSources(v *View, keep []bool) []string {
+	if keep == nil {
+		return nil
+	}
+	kept := map[string]bool{}
+	masked := map[string]bool{}
+	for i, p := range v.Parts {
+		if keep[i] {
+			kept[p.Source] = true
+		} else {
+			masked[p.Source] = true
+		}
+	}
+	var out []string
+	for s := range masked {
+		if !kept[s] {
+			out = append(out, s)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
 // evaluate runs the view's parts concurrently — each against its own
 // source — and concatenates the results in part order, so the view
 // document is deterministic regardless of scheduling. The first part
 // failure cancels the sibling fetches — except a breaker-open rejection
 // (ErrBreakerOpen), which drops just that source's parts and lets the
 // siblings complete: a dead source degrades the view, it does not take it
-// down.
-func (m *Mediator) evaluate(ctx context.Context, v *View, wrappers []Wrapper) (*xmlmodel.Document, *MaterializeInfo, error) {
+// down. Parts masked out by keep (nil keeps all) are never fetched at
+// all — no goroutine, no breaker interaction, no retry.
+func (m *Mediator) evaluate(ctx context.Context, v *View, wrappers []Wrapper, keep []bool) (*xmlmodel.Document, *MaterializeInfo, error) {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	type partResult struct {
@@ -476,6 +563,9 @@ func (m *Mediator) evaluate(ctx context.Context, v *View, wrappers []Wrapper) (*
 	results := make([]partResult, len(v.Parts))
 	var wg sync.WaitGroup
 	for i := range v.Parts {
+		if keep != nil && !keep[i] {
+			continue
+		}
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
@@ -530,9 +620,12 @@ func (m *Mediator) evaluate(ctx context.Context, v *View, wrappers []Wrapper) (*
 	if firstErr != nil {
 		return nil, nil, firstErr
 	}
-	info := &MaterializeInfo{}
+	info := &MaterializeInfo{PrunedSources: prunedSources(v, keep)}
 	root := &xmlmodel.Element{Name: v.Name}
 	for i, r := range results {
+		if keep != nil && !keep[i] {
+			continue
+		}
 		if r.dropped {
 			info.Degraded = true
 			info.DegradedSources = append(info.DegradedSources, v.Parts[i].Source)
@@ -581,7 +674,7 @@ func (m *Mediator) Query(ctx context.Context, viewName string, q *xmas.Query) (*
 		if rep.Class == infer.Unsatisfiable {
 			stats.SkippedUnsatisfiable = true
 			span.Event("query.skipped_unsatisfiable")
-			return &xmlmodel.Document{DocType: q.Name, Root: &xmlmodel.Element{Name: q.Name}}, stats, nil
+			return engine.EmptyResult(q), stats, nil
 		}
 		sq = simplified
 	} else {
@@ -589,12 +682,25 @@ func (m *Mediator) Query(ctx context.Context, viewName string, q *xmas.Query) (*
 		m.stats.add(&m.stats.simplifierErrors, 1)
 		span.Event("query.simplifier_error", obs.String("error", serr.Error()))
 	}
-	doc, info, err := m.MaterializeInfo(ctx, viewName)
+	keep, pruned := m.pruneParts(ctx, v, sq)
+	if pruned > 0 {
+		m.stats.add(&m.stats.partsPruned, int64(pruned))
+		span.SetAttr(obs.Int("parts_pruned", int64(pruned)))
+	}
+	if keep != nil && allFalse(keep) {
+		// Every part refuted: the answer is empty without touching any
+		// source — same shape as the unsatisfiable fast path above.
+		stats.PrunedSources = prunedSources(v, keep)
+		span.Event("query.all_parts_pruned")
+		return engine.EmptyResult(q), stats, nil
+	}
+	doc, info, err := m.materializeMasked(ctx, viewName, keep)
 	if err != nil {
 		return nil, nil, err
 	}
 	stats.Degraded = info.Degraded
 	stats.DegradedSources = info.DegradedSources
+	stats.PrunedSources = info.PrunedSources
 	res, err := engine.Eval(sq, doc)
 	if err != nil {
 		return nil, nil, err

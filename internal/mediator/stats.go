@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/automata"
 	"repro/internal/automata/cache"
+	"repro/internal/infer"
 	"repro/internal/obs"
 )
 
@@ -70,6 +71,17 @@ type Stats struct {
 	BreakerTrips      int64 `json:"breaker_trips"`
 	BreakerRejections int64 `json:"breaker_rejections"`
 
+	// PartsPruned counts view parts skipped by query-time satisfiability
+	// pruning (see prune.go) — sources never fetched because the query was
+	// proven unable to touch them. Pruning preserves answers exactly, so
+	// this is a pure saving, not a degradation.
+	PartsPruned int64 `json:"parts_pruned"`
+	// PruneVerdictCache snapshots the process-wide satisfiability-verdict
+	// cache (infer.SatisfiabilityCacheStats): hits are queries whose
+	// prune decision cost one lookup; misses include every Unknown verdict
+	// recomputation, since Unknown is deliberately never cached.
+	PruneVerdictCache cache.Stats `json:"prune_verdict_cache"`
+
 	// AutomataCache snapshots the process-wide compiled-automata cache
 	// (internal/automata/cache) that backs every content-model compilation
 	// and language decision: DFA compilations for validation, containment
@@ -91,6 +103,7 @@ type statsCounters struct {
 	simplifierPruned, simplifierDropped, simplifierSkips         int64
 	simplifierErrors                                             int64
 	degradedViews, budgetExhaustions, degradedMaterializations   int64
+	partsPruned                                                  int64
 	views                                                        map[string]*ViewStats
 	// hists holds the live per-view histograms backing the snapshot
 	// fields of ViewStats (the snapshot struct carries copies).
@@ -180,7 +193,9 @@ func (m *Mediator) Stats() Stats {
 		DegradedViews:            s.degradedViews,
 		BudgetExhaustions:        s.budgetExhaustions,
 		DegradedMaterializations: s.degradedMaterializations,
+		PartsPruned:              s.partsPruned,
 		AutomataCache:            automata.CacheStats(),
+		PruneVerdictCache:        infer.SatisfiabilityCacheStats(),
 		Views:                    make(map[string]ViewStats, len(s.views)),
 	}
 	for name, vs := range s.views {

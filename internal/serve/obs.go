@@ -196,6 +196,12 @@ func (h *Handler) writePrometheus(w http.ResponseWriter) {
 	mw.Counter("mix_automata_cache_evictions_total", "Compiled-automata cache evictions.", float64(ac.Evictions))
 	mw.Gauge("mix_automata_cache_size", "Entries currently in the compiled-automata cache.", float64(ac.Size))
 
+	pc := st.PruneVerdictCache
+	mw.Counter("mix_parts_pruned_total", "View parts skipped by query-time satisfiability pruning (sources never fetched).", float64(st.PartsPruned))
+	mw.Counter("mix_prune_verdict_hits_total", "Satisfiability-verdict cache hits.", float64(pc.Hits))
+	mw.Counter("mix_prune_verdict_misses_total", "Satisfiability-verdict cache misses (includes uncacheable Unknown verdicts).", float64(pc.Misses))
+	mw.Gauge("mix_prune_verdict_cache_size", "Entries currently in the satisfiability-verdict cache.", float64(pc.Size))
+
 	// Per-view counters and latency histograms, sorted for stable output.
 	views := make([]string, 0, len(st.Views))
 	for name := range st.Views {

@@ -281,6 +281,18 @@ func TestMetricsPrometheusExposition(t *testing.T) {
 	if got := metrics[`mix_http_requests_total{pattern="GET /views/{name}",status="200"}`]; got != 2 {
 		t.Errorf("http requests counter = %v, want 2", got)
 	}
+	// Pruning counters are always exposed (values depend on global verdict
+	//-cache state shared across tests, so only presence is asserted).
+	for _, name := range []string{
+		"mix_parts_pruned_total",
+		"mix_prune_verdict_hits_total",
+		"mix_prune_verdict_misses_total",
+		"mix_prune_verdict_cache_size",
+	} {
+		if _, ok := metrics[name]; !ok {
+			t.Errorf("metric %s missing from exposition", name)
+		}
+	}
 	// Cumulative buckets: each le bucket count must be <= the next.
 	var prev float64
 	for _, b := range obs.DefaultLatencyBuckets {

@@ -19,9 +19,11 @@
 //
 // Queries posted to a view are answered through the mediator's
 // DTD-simplifying path; the X-Mix-Skipped/X-Mix-Pruned response headers
-// report what the simplifier did, and X-Mix-Simplifier-Error flags a
-// query that fell back to the unsimplified path because the simplifier
-// failed. Handlers pass the request context down to the mediator, so a
+// report what the simplifier did, X-Mix-Pruned-Sources lists sources
+// skipped by per-part satisfiability pruning (proven unable to contribute
+// — the answer is unchanged), and X-Mix-Simplifier-Error flags a query
+// that fell back to the unsimplified path because the simplifier failed.
+// Handlers pass the request context down to the mediator, so a
 // disconnecting client cancels remote part-fetches.
 //
 // Every request runs inside a trace (internal/obs): the X-Mix-Trace-Id
@@ -277,6 +279,11 @@ func (h *Handler) postQuery(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("X-Mix-Dropped-Names", fmt.Sprint(stats.DroppedNames))
 	if stats.SimplifierError != "" {
 		w.Header().Set("X-Mix-Simplifier-Error", stats.SimplifierError)
+	}
+	if len(stats.PrunedSources) > 0 {
+		// Pruned sources were proven unable to contribute and never fetched;
+		// unlike X-Mix-Degraded this does not change the answer.
+		w.Header().Set("X-Mix-Pruned-Sources", strings.Join(stats.PrunedSources, ","))
 	}
 	if v, verr := h.m.View(name); verr == nil {
 		setDegradedHeaders(w, v, &mediator.MaterializeInfo{

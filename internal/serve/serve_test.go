@@ -264,3 +264,60 @@ AND Pub1 != Pub2`
 		t.Errorf("recursive view: %d, want 422", resp.StatusCode)
 	}
 }
+
+// TestQueryEndpointPrunedSourcesHeader: when per-part pruning proves a
+// union part irrelevant to the query, the response names the skipped
+// sources in X-Mix-Pruned-Sources — and does NOT claim degradation, since
+// the answer is exact.
+func TestQueryEndpointPrunedSourcesHeader(t *testing.T) {
+	m := mediator.New("libs")
+	for _, s := range []struct{ name, dtdText, docText string }{
+		{"libA", `<!DOCTYPE library [
+  <!ELEMENT library (item*)> <!ELEMENT item (book)> <!ELEMENT book (#PCDATA)>
+]>`, `<library><item><book>Dune</book></item></library>`},
+		{"libB", `<!DOCTYPE library [
+  <!ELEMENT library (item*)> <!ELEMENT item (disc)> <!ELEMENT disc (#PCDATA)>
+]>`, `<library><item><disc>OK Computer</disc></item></library>`},
+	} {
+		d, err := dtd.Parse(s.dtdText)
+		if err != nil {
+			t.Fatal(err)
+		}
+		doc, _, err := xmlmodel.Parse(s.docText)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src, err := mediator.NewStaticSource(s.name, doc, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.AddSource(src); err != nil {
+			t.Fatal(err)
+		}
+	}
+	part := `SELECT I WHERE <library> I:<item/> </library>`
+	if _, err := m.DefineUnionView("cat", []mediator.ViewPart{
+		{Source: "libA", Query: xmas.MustParse(part)},
+		{Source: "libB", Query: xmas.MustParse(part)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(New(m))
+	t.Cleanup(srv.Close)
+
+	q := `r = SELECT X WHERE <cat> X:<item><book/></item> </cat>`
+	resp, err := http.Post(srv.URL+"/views/cat/query", "text/plain", strings.NewReader(q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("query: %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Mix-Pruned-Sources"); got != "libB" {
+		t.Errorf("X-Mix-Pruned-Sources = %q, want libB", got)
+	}
+	if got := resp.Header.Get("X-Mix-Degraded"); got != "" {
+		t.Errorf("X-Mix-Degraded = %q set on a pruned (exact) response", got)
+	}
+}

@@ -11,8 +11,11 @@ import (
 // Keywords (SELECT, WHERE, AND) are case-insensitive; end tags may be
 // written in full (</department>), generically (</>) or as a self-closing
 // start tag (<journal/>). ID attribute values may be bare identifiers
-// (id=Pub1) or quoted (id="Pub1"). Parse validates the query and returns
-// the first validation problem as an error.
+// (id=Pub1) or quoted (id="Pub1"). A subcondition wrapped in square
+// brackets ([<journal/>]) parses as a qualifier (Cond.Qualifier); note
+// that string content beginning with '[' is therefore read as a
+// qualifier, not text. Parse validates the query and returns the first
+// validation problem as an error.
 func Parse(input string) (*Query, error) {
 	p := &qparser{src: input}
 	q, err := p.parseQuery()
@@ -276,6 +279,22 @@ func (p *qparser) parseBody(c *Cond) (*Cond, error) {
 				return nil, p.errf("end tag </%s> does not match %s", name, c.head())
 			}
 			return c, nil
+		}
+		if p.peekByte() == '[' {
+			// Qualifier: an existential filter condition in brackets.
+			p.pos++
+			child, err := p.parseCond()
+			if err != nil {
+				return nil, err
+			}
+			p.ws()
+			if p.peekByte() != ']' {
+				return nil, p.errf("expected ']' closing qualifier in %s", c.head())
+			}
+			p.pos++
+			child.Qualifier = true
+			c.Children = append(c.Children, child)
+			continue
 		}
 		if p.peekByte() == '<' || startsVarBinding(p.src[p.pos:]) {
 			child, err := p.parseCond()

@@ -26,6 +26,12 @@
 // (Example 3.5): the condition applies at any depth along a chain of
 // same-named elements. Inference rejects recursive steps (Section 4.4,
 // footnote 9); the query engine evaluates them.
+//
+// A subcondition wrapped in square brackets, as in
+// <professor>[<publication/>]</>, is a qualifier: an existential filter in
+// the style of XPath qualifiers. It requires only that some child satisfy
+// it and is exempt from the distinct-children reading of regular sibling
+// conditions, so it never competes with siblings for witnesses.
 package xmas
 
 import (
@@ -69,9 +75,19 @@ type Cond struct {
 	// PCDATA value (<name>CS</name>).
 	HasText bool
 	Text    string
-	// Children are the subconditions; each must be matched by a distinct
-	// child of the matched element (the paper's Section 4.2 assumption
-	// that no two sibling conditions bind to the same element).
+	// Qualifier marks an existential filter condition, written in square
+	// brackets: <professor>[<publication/>]</>. A qualifier only tests
+	// that SOME child of the parent's match satisfies it — unlike regular
+	// sibling conditions it is exempt from the distinct-children
+	// assumption of Section 4.2, so several qualifiers (or a qualifier
+	// and a regular sibling) may be witnessed by the same child element.
+	// Qualifiers are the XMAS analogue of XPath qualifiers, whose
+	// satisfiability stays tractable for real-world DTD classes.
+	Qualifier bool
+	// Children are the subconditions; each non-qualifier child must be
+	// matched by a distinct child of the matched element (the paper's
+	// Section 4.2 assumption that no two sibling conditions bind to the
+	// same element).
 	Children []*Cond
 }
 
@@ -139,7 +155,20 @@ func (q *Query) Validate() []error {
 		errs = append(errs, fmt.Errorf("xmas: query has no condition"))
 		return errs
 	}
+	if q.Root.Qualifier {
+		errs = append(errs, fmt.Errorf("xmas: the root condition cannot be a qualifier"))
+	}
 	bound := map[string]int{}
+	var inQualifier func(n *Cond, inside bool)
+	inQualifier = func(n *Cond, inside bool) {
+		if n.Var == q.PickVar && q.PickVar != "" && inside {
+			errs = append(errs, fmt.Errorf("xmas: pick variable %s cannot be bound inside a qualifier", q.PickVar))
+		}
+		for _, k := range n.Children {
+			inQualifier(k, inside || k.Qualifier)
+		}
+	}
+	inQualifier(q.Root, false)
 	q.Root.walk(func(n *Cond) {
 		if n.Var != "" {
 			bound[n.Var]++
@@ -249,6 +278,12 @@ func writeCond(b *strings.Builder, c *Cond, level int) {
 		for _, k := range c.Children {
 			b.WriteByte('\n')
 			b.WriteString(strings.Repeat("  ", level))
+			if k.Qualifier {
+				b.WriteByte('[')
+				writeCond(b, k, level+1)
+				b.WriteByte(']')
+				continue
+			}
 			writeCond(b, k, level+1)
 		}
 		b.WriteByte('\n')
@@ -277,6 +312,7 @@ func (c *Cond) Clone() *Cond {
 		IDVar:     c.IDVar,
 		HasText:   c.HasText,
 		Text:      c.Text,
+		Qualifier: c.Qualifier,
 	}
 	for _, k := range c.Children {
 		out.Children = append(out.Children, k.Clone())

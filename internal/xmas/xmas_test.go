@@ -252,3 +252,49 @@ func TestCondDepthGuard(t *testing.T) {
 		t.Errorf("adversarial nesting must be rejected gracefully, got %v", err)
 	}
 }
+
+func TestParseQualifier(t *testing.T) {
+	q := MustParse(`r = SELECT X WHERE <a> X:<b> <c/> [<d/>] </b> </a>`)
+	b := q.Root.Children[0]
+	if len(b.Children) != 2 {
+		t.Fatalf("b has %d children, want 2", len(b.Children))
+	}
+	if b.Children[0].Qualifier {
+		t.Error("<c/> is a regular condition, not a qualifier")
+	}
+	if !b.Children[1].Qualifier {
+		t.Error("[<d/>] must parse as a qualifier")
+	}
+	// Qualifiers survive the render/reparse cycle.
+	back, err := Parse(q.String())
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, q)
+	}
+	if !back.Root.Children[0].Children[1].Qualifier {
+		t.Errorf("qualifier flag lost in round trip:\n%s", q)
+	}
+	if back.String() != q.String() {
+		t.Errorf("round trip not stable:\n%s\nvs\n%s", q, back)
+	}
+}
+
+func TestValidateQualifierRules(t *testing.T) {
+	// The pick variable cannot be bound inside a qualifier: qualifiers
+	// filter, they do not contribute output elements.
+	q := &Query{Name: "r", PickVar: "X", Root: &Cond{
+		Names: []string{"a"},
+		Children: []*Cond{{
+			Names: []string{"b"}, Qualifier: true,
+			Children: []*Cond{{Names: []string{"c"}, Var: "X"}},
+		}},
+	}}
+	if errs := q.Validate(); len(errs) == 0 {
+		t.Error("pick bound inside a qualifier must be rejected")
+	}
+	// The root condition itself cannot be a qualifier.
+	q2 := &Query{Name: "r", PickVar: "X",
+		Root: &Cond{Names: []string{"a"}, Qualifier: true, Var: "X"}}
+	if errs := q2.Validate(); len(errs) == 0 {
+		t.Error("qualifier root must be rejected")
+	}
+}

@@ -81,8 +81,21 @@ type parser struct {
 func (p *parser) eof() bool { return p.pos >= len(p.src) }
 
 func (p *parser) errf(format string, args ...any) error {
-	line := 1 + strings.Count(p.src[:min(p.pos, len(p.src))], "\n")
-	return &ParseError{Offset: p.pos, Line: line, Msg: fmt.Sprintf(format, args...)}
+	off := min(p.pos, len(p.src))
+	line := 1
+	for i := 0; i < off; i++ {
+		switch p.src[i] {
+		case '\n':
+			line++
+		case '\r':
+			// A lone \r (classic Mac line ending) terminates a line; the
+			// \r of a \r\n pair must not, or CRLF input double-counts.
+			if i+1 >= off || p.src[i+1] != '\n' {
+				line++
+			}
+		}
+	}
+	return &ParseError{Offset: off, Line: line, Msg: fmt.Sprintf(format, args...)}
 }
 
 func (p *parser) skipWS() {

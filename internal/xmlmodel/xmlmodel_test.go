@@ -342,3 +342,59 @@ func TestSelectors(t *testing.T) {
 		t.Errorf("all descendants = %d, want 9", got)
 	}
 }
+
+// TestParseErrorPositions: ParseError must report the correct 1-based line
+// for every newline convention — \n, \r\n and lone \r — and an offset
+// clamped into the input. (A regression guard: the line counter used to
+// see only \n, so CRLF input was fine by luck but classic-Mac \r input
+// reported everything on line 1, and an error raised at EOF could carry
+// an offset past the end of the input.)
+func TestParseErrorPositions(t *testing.T) {
+	cases := []struct {
+		name  string
+		input string
+		line  int
+	}{
+		{"lf", "<a>\n<b>\n<c>oops</a>", 3},
+		{"crlf", "<a>\r\n<b>\r\n<c>oops</a>", 3},
+		{"cr", "<a>\r<b>\r<c>oops</a>", 3},
+		{"mixed", "<a>\r\n<b>\r<c>\n<d>oops</a>", 4},
+		{"first-line", "<a><b>oops</a>", 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, err := Parse(tc.input)
+			if err == nil {
+				t.Fatal("mismatched tags must fail")
+			}
+			pe, ok := err.(*ParseError)
+			if !ok {
+				t.Fatalf("err is %T, want *ParseError", err)
+			}
+			if pe.Line != tc.line {
+				t.Errorf("line = %d, want %d (%q)", pe.Line, tc.line, tc.input)
+			}
+			if pe.Offset < 0 || pe.Offset > len(tc.input) {
+				t.Errorf("offset = %d, outside [0, %d]", pe.Offset, len(tc.input))
+			}
+		})
+	}
+}
+
+// TestParseErrorOffsetClampedAtEOF: errors raised after the scanner ran
+// off the end (unterminated constructs) must clamp Offset to len(input).
+func TestParseErrorOffsetClampedAtEOF(t *testing.T) {
+	for _, input := range []string{"<a>", "<a", "<a href=", `<a href="x`, "<a><!-- unterminated"} {
+		_, _, err := Parse(input)
+		if err == nil {
+			t.Fatalf("%q must fail", input)
+		}
+		pe, ok := err.(*ParseError)
+		if !ok {
+			t.Fatalf("%q: err is %T, want *ParseError", input, err)
+		}
+		if pe.Offset > len(input) {
+			t.Errorf("%q: offset = %d > len %d", input, pe.Offset, len(input))
+		}
+	}
+}

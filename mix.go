@@ -162,6 +162,55 @@ const (
 	Valid         = infer.Valid
 )
 
+// Verdict is a three-valued satisfiability verdict for a query against a
+// source DTD: Unknown (fetch anyway), Unsatisfiable (a proof; prune), or
+// VerdictSatisfiable. See infer.Satisfiability.
+type Verdict = infer.Verdict
+
+// Satisfiability verdict constants.
+const (
+	VerdictUnknown       = infer.VerdictUnknown
+	VerdictUnsatisfiable = infer.VerdictUnsatisfiable
+	VerdictSatisfiable   = infer.VerdictSatisfiable
+)
+
+// DTDClass identifies the tractable DTD classes (duplicate-free,
+// disjunction-capsuled) on which the fast satisfiability decision
+// procedure is exact; see infer.ClassifyDTD.
+type DTDClass = infer.DTDClass
+
+// DTD class constants.
+const (
+	ClassGeneral             = infer.ClassGeneral
+	ClassDuplicateFree       = infer.ClassDuplicateFree
+	ClassDisjunctionCapsuled = infer.ClassDisjunctionCapsuled
+)
+
+// Satisfiability decides whether any document valid under src can match
+// the query: the verdict backing query-time per-part pruning. Budget
+// exhaustion (attach one with BudgetContext) yields VerdictUnknown.
+func Satisfiability(ctx context.Context, q *Query, src *DTD) Verdict {
+	return infer.Satisfiability(ctx, q, src)
+}
+
+// SatisfiabilityCached is Satisfiability through the process-wide verdict
+// cache (VerdictUnknown is never cached); the second result reports a hit.
+func SatisfiabilityCached(ctx context.Context, q *Query, src *DTD) (Verdict, bool) {
+	return infer.SatisfiabilityCached(ctx, q, src)
+}
+
+// ClassifyDTD reports the DTD's tractable class.
+func ClassifyDTD(d *DTD) DTDClass { return infer.ClassifyDTD(d) }
+
+// SatisfiabilityCacheStats snapshots the process-wide satisfiability-
+// verdict cache counters (mediator.Stats embeds the same snapshot as
+// PruneVerdictCache).
+func SatisfiabilityCacheStats() AutomataCache { return infer.SatisfiabilityCacheStats() }
+
+// PurgeSatisfiabilityCache drops every cached satisfiability verdict
+// (counters are kept); call it after schema churn.
+func PurgeSatisfiabilityCache() { infer.PurgeSatisfiabilityCache() }
+
 // ErrRecursivePath is returned by Infer for views with recursive path
 // expressions (Section 4.4, footnote 9).
 var ErrRecursivePath = infer.ErrRecursivePath
@@ -237,6 +286,11 @@ func Eval(q *Query, doc *Document) (*Document, error) { return engine.Eval(q, do
 func EvalElements(q *Query, doc *Document) ([]*Element, error) {
 	return engine.EvalElements(q, doc)
 }
+
+// EmptyResult is the empty view document for a query — exactly the shape
+// Eval returns when nothing matches, so fast paths that skip evaluation
+// (unsatisfiable queries, fully pruned views) produce identical output.
+func EmptyResult(q *Query) *Document { return engine.EmptyResult(q) }
 
 // Tighter decides Definition 3.2: every document satisfying d1 satisfies
 // d2. The witness explains a negative answer.
