@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test vet lint race fault fuzz check bench bench-compare bench-prune experiments cover clean fmt ci
+.PHONY: all build test vet lint race fault fuzz check bench bench-compare bench-prune bench-serve load-smoke experiments cover clean fmt ci
 
 all: build vet test
 
@@ -42,7 +42,8 @@ race:
 fault:
 	go test -race -run 'Fault|Breaker|Degrad|FanOut|Panic|Budget' \
 		./internal/mediator/ ./internal/infer/ ./internal/tightness/ \
-		./internal/automata/... ./internal/serve/ ./internal/budget/
+		./internal/automata/... ./internal/serve/ ./internal/budget/ \
+		./internal/load/
 
 # Short, bounded runs of every fuzz target against the parsers. Each
 # target gets FUZZTIME (default 10s); crashes land in testdata/fuzz as
@@ -76,6 +77,18 @@ bench-compare:
 bench-prune:
 	go test -run '^$$' -bench BenchmarkPruneUnionQuery -benchmem ./internal/mediator | go run ./cmd/benchjson | tee BENCH_prune.json
 
+# Sustained-load SLO run (cmd/mixload): a deterministic open-loop mixed
+# operation stream over a synthesized XMark-class fleet, asserted against
+# p95/p99/error-rate/degradation SLOs and archived as BENCH_serve.json.
+# Compare across commits to track the serving path's figure of merit.
+bench-serve:
+	go run ./cmd/mixload -seed 1 -rps 150 -duration 30s -out BENCH_serve.json
+
+# Bounded smoke of the same harness for every push: ~10s of traffic plus a
+# pruning-soundness comparison run, exit nonzero on any SLO violation.
+load-smoke:
+	go run ./cmd/mixload -seed 1 -rps 120 -duration 10s -prune-compare -quiet
+
 # Regenerate every paper artifact (EXPERIMENTS.md).
 experiments:
 	go run ./cmd/mixbench
@@ -101,7 +114,7 @@ fmt:
 
 # What the CI workflow runs, invocable locally before pushing: the gofmt
 # gate, tier-1 build/vet/test, the -race suite, the fault-injection
-# battery, and the coverage floor.
+# battery, the coverage floor, and the bounded load smoke.
 ci:
 	@unformatted=$$(gofmt -l .); \
 	if [ -n "$$unformatted" ]; then \
@@ -111,6 +124,7 @@ ci:
 	$(MAKE) race
 	$(MAKE) fault
 	$(MAKE) cover
+	$(MAKE) load-smoke
 
 # The artifacts requested by the reproduction protocol.
 outputs:

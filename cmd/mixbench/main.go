@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	mixbench [-quick] [-seed N] [-list] [E1 E2 ...]
+//	mixbench [-quick] [-seed N] [-stable] [-list] [E1 E2 ...]
 package main
 
 import (
@@ -19,6 +19,7 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "shrink corpora and sweeps for a fast run")
 	seed := flag.Int64("seed", 1, "random seed for generated workloads")
+	stable := flag.Bool("stable", false, "suppress wall-clock output so same-seed runs are byte-identical")
 	list := flag.Bool("list", false, "list experiments and exit")
 	flag.Parse()
 
@@ -28,7 +29,7 @@ func main() {
 		}
 		return
 	}
-	cfg := bench.Config{Quick: *quick, Seed: *seed}
+	cfg := bench.Config{Quick: *quick, Seed: *seed, Stable: *stable}
 	if err := bench.Run(os.Stdout, cfg, flag.Args()...); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

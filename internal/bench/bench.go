@@ -20,6 +20,29 @@ type Config struct {
 	Quick bool
 	// Seed drives all randomized workloads.
 	Seed int64
+	// Stable normalizes wall-clock-derived output — measured duration
+	// cells, speedup ratios, timing-conditional warnings and the
+	// per-experiment elapsed-seconds line — so two runs with the same seed
+	// produce byte-identical reports. Workloads and checked properties are
+	// unchanged; only the rendering of measurements is suppressed.
+	Stable bool
+}
+
+// dur renders a measured duration for a report cell, rounded to r; under
+// Stable it is a fixed placeholder so reports are reproducible.
+func (c Config) dur(d, r time.Duration) string {
+	if c.Stable {
+		return "~"
+	}
+	return d.Round(r).String()
+}
+
+// ratio renders a speedup ratio, placeholder under Stable.
+func (c Config) ratio(f float64) string {
+	if c.Stable {
+		return "~"
+	}
+	return fmt.Sprintf("%.1fx", f)
 }
 
 // DefaultConfig is used by cmd/mixbench without flags.
@@ -103,7 +126,11 @@ func Run(w io.Writer, cfg Config, ids ...string) error {
 			verdict = "FAIL"
 			failed++
 		}
-		fmt.Fprintf(w, "    %s (%.2fs)\n\n", verdict, time.Since(start).Seconds())
+		if cfg.Stable {
+			fmt.Fprintf(w, "    %s\n\n", verdict)
+		} else {
+			fmt.Fprintf(w, "    %s (%.2fs)\n\n", verdict, time.Since(start).Seconds())
+		}
 	}
 	if failed > 0 {
 		return fmt.Errorf("bench: %d experiment(s) failed", failed)

@@ -182,9 +182,9 @@ func runE10(w io.Writer, cfg Config) (*Outcome, error) {
 			}
 			check(&out.Pass, same)
 			speed := float64(baseline) / float64(max64(simplified, 1))
-			t.add(qc.name, fmt.Sprint(n), baseline.Round(time.Microsecond).String(),
-				simplified.Round(time.Microsecond).String(), fmt.Sprintf("%.1fx", speed), fmt.Sprint(same))
-			if qc.name != "control" && speed < 1 {
+			t.add(qc.name, fmt.Sprint(n), cfg.dur(baseline, time.Microsecond),
+				cfg.dur(simplified, time.Microsecond), cfg.ratio(speed), fmt.Sprint(same))
+			if !cfg.Stable && qc.name != "control" && speed < 1 {
 				out.Notes = append(out.Notes, fmt.Sprintf("warning: no speedup for %s at n=%d", qc.name, n))
 			}
 		}
@@ -387,7 +387,7 @@ func runE12(w io.Writer, cfg Config) (*Outcome, error) {
 		if err != nil {
 			return nil, err
 		}
-		t.add("DTD width (member kinds)", fmt.Sprint(wd), dur.Round(time.Microsecond).String())
+		t.add("DTD width (member kinds)", fmt.Sprint(wd), cfg.dur(dur, time.Microsecond))
 	}
 	for _, vc := range venueCounts {
 		d := scaledDeptDTD(2, vc)
@@ -395,7 +395,7 @@ func runE12(w io.Writer, cfg Config) (*Outcome, error) {
 		if err != nil {
 			return nil, err
 		}
-		t.add("disjunction width (venues)", fmt.Sprint(vc), dur.Round(time.Microsecond).String())
+		t.add("disjunction width (venues)", fmt.Sprint(vc), cfg.dur(dur, time.Microsecond))
 	}
 	for _, k := range siblings {
 		d := scaledDeptDTD(2, 2)
@@ -403,7 +403,7 @@ func runE12(w io.Writer, cfg Config) (*Outcome, error) {
 		if err != nil {
 			return nil, err
 		}
-		t.add("same-name sibling conditions (tags)", fmt.Sprint(k), dur.Round(time.Microsecond).String())
+		t.add("same-name sibling conditions (tags)", fmt.Sprint(k), cfg.dur(dur, time.Microsecond))
 	}
 	for _, dp := range depths {
 		d, q := deepDTDAndQuery(dp)
@@ -411,7 +411,7 @@ func runE12(w io.Writer, cfg Config) (*Outcome, error) {
 		if err != nil {
 			return nil, err
 		}
-		t.add("path depth", fmt.Sprint(dp), dur.Round(time.Microsecond).String())
+		t.add("path depth", fmt.Sprint(dp), cfg.dur(dur, time.Microsecond))
 	}
 	t.write(w, "    ")
 	out.Notes = append(out.Notes,

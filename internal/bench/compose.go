@@ -92,8 +92,8 @@ func runE13(w io.Writer, cfg Config) (*Outcome, error) {
 		}
 		comp := time.Since(start) / time.Duration(reps)
 		speed := float64(mat) / float64(max64(comp, 1))
-		t.add(qc.name, mat.Round(time.Microsecond).String(), comp.Round(time.Microsecond).String(),
-			fmt.Sprintf("%.1fx", speed), fmt.Sprint(equal))
+		t.add(qc.name, cfg.dur(mat, time.Microsecond), cfg.dur(comp, time.Microsecond),
+			cfg.ratio(speed), fmt.Sprint(equal))
 	}
 	t.write(w, "    ")
 	out.Notes = append(out.Notes,

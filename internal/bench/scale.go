@@ -113,9 +113,9 @@ func runE14(w io.Writer, cfg Config) (*Outcome, error) {
 		}
 		check(&out.Pass, v.DTD.Validate(doc) == nil)
 		check(&out.Pass, v.SDTD.Satisfies(doc) == nil)
-		t.add(fmt.Sprint(n), fmt.Sprint(totalElems), register.Round(time.Millisecond).String(),
+		t.add(fmt.Sprint(n), fmt.Sprint(totalElems), cfg.dur(register, time.Millisecond),
 			fmt.Sprint(len(v.DTD.Types)), fmt.Sprint(len(v.SDTD.Types)),
-			queryDur.Round(time.Microsecond).String(), unsatDur.Round(time.Microsecond).String())
+			cfg.dur(queryDur, time.Microsecond), cfg.dur(unsatDur, time.Microsecond))
 		check(&out.Pass, len(res.Root.Children) >= 0)
 	}
 	t.write(w, "    ")

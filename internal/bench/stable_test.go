@@ -1,0 +1,62 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestStableRunsAreByteIdentical is the mixbench determinism regression:
+// two quick runs with the same seed in Stable mode must produce
+// byte-identical summaries. Workload seeds were always threaded through
+// Config; Stable removes the remaining wall-clock residue (duration
+// cells, speedup ratios, timing-conditional warnings, per-experiment
+// elapsed times), so any nondeterminism surfacing here is a real
+// regression — a map-ordered table, an unseeded generator — not noise.
+func TestStableRunsAreByteIdentical(t *testing.T) {
+	run := func(seed int64) string {
+		var buf bytes.Buffer
+		if err := Run(&buf, Config{Quick: true, Seed: seed, Stable: true}); err != nil {
+			t.Fatalf("stable run failed: %v\n%s", err, buf.String())
+		}
+		return buf.String()
+	}
+	a, b := run(1), run(1)
+	if a != b {
+		t.Fatalf("same seed, different stable output:\n--- first\n%s\n--- second\n%s", diffHint(a, b), "")
+	}
+	if strings.Contains(a, "FAIL") {
+		t.Errorf("stable run failed an experiment:\n%s", a)
+	}
+}
+
+// TestStableSuppressesWallClock: a stable run contains no elapsed-seconds
+// verdict suffixes; a normal run does.
+func TestStableSuppressesWallClock(t *testing.T) {
+	var stable, timed bytes.Buffer
+	if err := Run(&stable, Config{Quick: true, Seed: 1, Stable: true}, "E5"); err != nil {
+		t.Fatal(err)
+	}
+	if err := Run(&timed, Config{Quick: true, Seed: 1}, "E5"); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(stable.String(), "s)\n") {
+		t.Errorf("stable output carries an elapsed time:\n%s", stable.String())
+	}
+	if !strings.Contains(timed.String(), "s)\n") {
+		t.Errorf("timed output lost its elapsed time:\n%s", timed.String())
+	}
+}
+
+// diffHint returns the first line where two outputs diverge, for a
+// readable failure message.
+func diffHint(a, b string) string {
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := 0; i < len(al) && i < len(bl); i++ {
+		if al[i] != bl[i] {
+			return fmt.Sprintf("line %d:\n  %s\n  %s", i+1, al[i], bl[i])
+		}
+	}
+	return "outputs differ in length"
+}

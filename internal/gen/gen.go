@@ -50,6 +50,23 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// validate rejects option values that would silently produce degenerate
+// corpora: a LengthBias outside (0,1] either never stops growing child
+// sequences (≤ 0 after defaulting is impossible, but negatives reach here
+// before defaulting) or is a meaningless probability above 1, and a
+// negative MaxDepth forces every element onto the minimal-completion path,
+// collapsing all documents to the same skeleton. Zero values still mean
+// "use the default".
+func (o Options) validate() error {
+	if o.LengthBias < 0 || o.LengthBias > 1 {
+		return fmt.Errorf("gen: LengthBias must be in (0,1] (0 for the default), got %v", o.LengthBias)
+	}
+	if o.MaxDepth < 0 {
+		return fmt.Errorf("gen: MaxDepth must be positive (0 for the default), got %d", o.MaxDepth)
+	}
+	return nil
+}
+
 // policy is the per-name walking machinery: the content model DFA, plain
 // shortest-distance-to-accept, the min-max completion cost R (the smallest
 // c such that an accepting path exists using only symbols whose subtree
@@ -76,6 +93,9 @@ type Generator struct {
 // New builds a generator for the DTD. It fails when the document type is
 // unrealizable — no finite valid document exists at all.
 func New(d *dtd.DTD, opts Options) (*Generator, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
 	if errs := d.Check(); len(errs) > 0 {
 		return nil, fmt.Errorf("gen: inconsistent DTD: %v", errs[0])
 	}

@@ -75,6 +75,40 @@ func TestMutuallyRecursiveDTD(t *testing.T) {
 	}
 }
 
+func TestInvalidOptionsRejected(t *testing.T) {
+	d := mustDTD(t, d1Text)
+	cases := []struct {
+		name string
+		opts Options
+	}{
+		{"negative LengthBias", Options{Seed: 1, LengthBias: -0.1}},
+		{"LengthBias above 1", Options{Seed: 1, LengthBias: 1.5}},
+		{"negative MaxDepth", Options{Seed: 1, MaxDepth: -3}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := New(d, c.opts); err == nil {
+				t.Errorf("New(%+v) must fail", c.opts)
+			}
+		})
+	}
+	// The boundary values stay accepted: 1 is a legal bias (always stop at
+	// the first accepting state), 0 means "default" for both knobs.
+	for _, opts := range []Options{
+		{Seed: 1, LengthBias: 1},
+		{Seed: 1},
+		{Seed: 1, MaxDepth: 1},
+	} {
+		g, err := New(d, opts)
+		if err != nil {
+			t.Fatalf("New(%+v): %v", opts, err)
+		}
+		if err := d.Validate(g.Document()); err != nil {
+			t.Fatalf("New(%+v) generated an invalid document: %v", opts, err)
+		}
+	}
+}
+
 func TestUnrealizableRootRejected(t *testing.T) {
 	d := dtd.New("loop")
 	d.Declare("loop", dtd.M(regex.MustParse("loop")))

@@ -1,0 +1,570 @@
+package load
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dtd"
+	"repro/internal/gen"
+	"repro/internal/mediator"
+	"repro/internal/obs"
+	"repro/internal/regex"
+	"repro/internal/serve"
+	"repro/internal/xmas"
+)
+
+// ErrFaultInjected is the error injected by the harness's fault campaigns
+// at the Fetch boundary.
+var ErrFaultInjected = errors.New("load: injected source fault")
+
+// Options configures one load run.
+type Options struct {
+	// Seed fixes the fleet, the corpora and the operation stream: two runs
+	// with equal Options produce identical schemas, identical documents
+	// and an identical op-for-op request plan.
+	Seed int64
+	// Sources is the fleet size (default 6). Families are assigned
+	// round-robin from Families.
+	Sources int
+	// Families is the rotation of schema families (default: all).
+	Families []Family
+	// Depth / Width parameterize the synthesized schemas (SchemaOptions).
+	Depth, Width int
+	// DocMaxDepth / DocLengthBias tune corpus document size (gen.Options);
+	// defaults 8 and 0.25 — a few dozen elements per source.
+	DocMaxDepth   int
+	DocLengthBias float64
+	// RPS is the open-loop target request rate (default 100).
+	RPS float64
+	// Duration is the stream length (default 5s).
+	Duration time.Duration
+	// MaxInFlight bounds concurrent in-flight requests; an op that would
+	// exceed it is shed (counted, not sent) rather than delaying the
+	// open-loop schedule (default 128).
+	MaxInFlight int
+	// Mix weights the operation kinds (default DefaultMix).
+	Mix []MixEntry
+	// Target aims the stream at a remote mixserve base URL instead of the
+	// in-process harness; View names the remote view to drive. Fault
+	// injection and the pruning comparison need in-process sources and are
+	// rejected in remote mode.
+	Target string
+	// View is the name of the view to drive (default "load"; required
+	// meaningfully only in remote mode).
+	View string
+	// FaultRate, when positive, runs a fault-injection campaign: every
+	// source is wrapped in a FaultSource whose seeded script fails each
+	// fetch with this probability (and delays it up to FaultMaxDelay).
+	FaultRate     float64
+	FaultMaxDelay time.Duration
+	// Breakers wraps every source in a circuit breaker, so fault campaigns
+	// exercise degraded serving instead of hard 500s.
+	Breakers bool
+	// BreakerCooldown overrides the breaker cooldown (default 250ms — short
+	// enough that a bounded run sees trips and recoveries).
+	BreakerCooldown time.Duration
+	// PruneCompare re-answers every distinct query of the stream against a
+	// pruning-disabled twin mediator after the run and verifies the answers
+	// are bit-identical (the -no-prune comparison run).
+	PruneCompare bool
+	// SLO is evaluated against the finished run's report.
+	SLO SLO
+	// NoPrune disables query-time satisfiability pruning on the in-process
+	// mediator (for explicit -no-prune comparison runs).
+	NoPrune bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Sources <= 0 {
+		o.Sources = 6
+	}
+	if len(o.Families) == 0 {
+		o.Families = Families()
+	}
+	if o.DocMaxDepth == 0 {
+		o.DocMaxDepth = 8
+	}
+	if o.DocLengthBias == 0 {
+		o.DocLengthBias = 0.25
+	}
+	if o.RPS <= 0 {
+		o.RPS = 100
+	}
+	if o.Duration <= 0 {
+		o.Duration = 5 * time.Second
+	}
+	if o.MaxInFlight <= 0 {
+		o.MaxInFlight = 128
+	}
+	if len(o.Mix) == 0 {
+		o.Mix = DefaultMix()
+	}
+	if o.View == "" {
+		o.View = "load"
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = 250 * time.Millisecond
+	}
+	o.SLO = o.SLO.withDefaults()
+	return o
+}
+
+// Harness owns one load run's fixtures: the synthesized fleet, the
+// mediator under test (in-process mode), the HTTP client aimed at it, and
+// the payload pools the planner draws from.
+type Harness struct {
+	opts    Options
+	sources []*Source
+	faults  []*mediator.FaultSource
+	med     *mediator.Mediator // nil in remote mode
+	server  *httptest.Server   // nil in remote mode
+	base    string
+	client  *http.Client
+	pools   *payloads
+}
+
+// NewHarness builds the fixtures for one run. In-process mode (empty
+// Target) synthesizes Options.Sources sources, registers them (optionally
+// behind fault injectors and breakers) under a union view, and serves the
+// mediator over a loopback HTTP server, so the driven path is the same
+// serve.Handler production traffic hits. Remote mode attaches to a
+// running mixserve and derives its probe pool from the remote view DTD.
+func NewHarness(opts Options) (*Harness, error) {
+	opts = opts.withDefaults()
+	h := &Harness{opts: opts, client: &http.Client{Timeout: 30 * time.Second}}
+	if opts.Target != "" {
+		if opts.FaultRate > 0 || opts.Breakers || opts.PruneCompare || opts.NoPrune {
+			return nil, fmt.Errorf("load: fault injection, breakers and pruning control need in-process sources; they cannot drive a remote target")
+		}
+		h.base = strings.TrimRight(opts.Target, "/")
+		if err := h.buildRemotePools(); err != nil {
+			return nil, err
+		}
+		return h, nil
+	}
+	if err := h.buildFleet(); err != nil {
+		return nil, err
+	}
+	h.server = httptest.NewServer(serve.New(h.med))
+	h.base = h.server.URL
+	return h, nil
+}
+
+// Close releases the in-process server (no-op in remote mode).
+func (h *Harness) Close() {
+	if h.server != nil {
+		h.server.Close()
+	}
+}
+
+// Sources exposes the synthesized fleet (nil in remote mode); tests use
+// it to cross-check corpora determinism and schema soundness.
+func (h *Harness) Sources() []*Source { return h.sources }
+
+// Mediator exposes the in-process mediator under test (nil in remote
+// mode).
+func (h *Harness) Mediator() *mediator.Mediator { return h.med }
+
+// Plan returns the run's deterministic operation stream.
+func (h *Harness) Plan() []Op {
+	return plan(h.opts.Seed, h.opts.RPS, h.opts.Duration, h.opts.Mix, h.pools)
+}
+
+// buildFleet synthesizes the sources, wraps them per the fault/breaker
+// options, registers the union view and builds the payload pools.
+func (h *Harness) buildFleet() error {
+	o := h.opts
+	h.med = mediator.New("mixload")
+	if o.NoPrune {
+		h.med.SetPruning(false)
+	}
+	var parts []mediator.ViewPart
+	scriptLen := int(o.RPS*o.Duration.Seconds()) + 1
+	for i := 0; i < o.Sources; i++ {
+		name := fmt.Sprintf("site%d", i)
+		src, err := BuildSource(name, SourceOptions{
+			Schema: SchemaOptions{
+				Seed:   o.Seed + int64(i),
+				Family: o.Families[i%len(o.Families)],
+				Depth:  o.Depth,
+				Width:  o.Width,
+			},
+			Gen: gen.Options{
+				MaxDepth:   o.DocMaxDepth,
+				LengthBias: o.DocLengthBias,
+				AssignIDs:  true,
+			},
+		})
+		if err != nil {
+			return err
+		}
+		h.sources = append(h.sources, src)
+		wrapper, err := mediator.NewStaticSource(name, src.Doc, src.DTD)
+		if err != nil {
+			return err
+		}
+		var w mediator.Wrapper = wrapper
+		if o.FaultRate > 0 {
+			fs := mediator.NewFaultSource(w, mediator.RandomFaults(
+				o.Seed+int64(i), scriptLen, o.FaultRate, o.FaultMaxDelay, ErrFaultInjected)...)
+			h.faults = append(h.faults, fs)
+			w = fs
+		}
+		if o.Breakers {
+			w = mediator.NewBreakerSource(w, mediator.BreakerOptions{Cooldown: o.BreakerCooldown})
+		}
+		if err := h.med.AddSource(w); err != nil {
+			return err
+		}
+		parts = append(parts, mediator.ViewPart{
+			Source: name,
+			Query:  xmas.MustParse(fmt.Sprintf(`SELECT X WHERE <%s> X:<entry/> </%s>`, name, name)),
+		})
+	}
+	if _, err := h.med.DefineUnionView(o.View, parts); err != nil {
+		return err
+	}
+	h.pools = h.buildPools()
+	return nil
+}
+
+// buildPools derives the query pools from the actual fleet schemas, so
+// qualified probes name children that exist somewhere (and, in a
+// heterogeneous fleet, are provably absent elsewhere — the prunable
+// shapes).
+func (h *Harness) buildPools() *payloads {
+	view := h.opts.View
+	p := &payloads{view: view}
+	p.plain = []string{
+		fmt.Sprintf(`r = SELECT X WHERE <%s> X:<entry/> </%s>`, view, view),
+		fmt.Sprintf(`r = SELECT X WHERE <%s> X:<entry><name/></entry> </%s>`, view, view),
+	}
+	// One qualified probe per distinct entry child across the fleet: some
+	// (name) hold everywhere, some (kind, profile0, description, the
+	// seed-picked extras) only in part of the fleet — those prune.
+	seen := map[string]bool{}
+	var probes []string
+	for _, s := range h.sources {
+		for _, child := range modelNames(s.DTD.Types["entry"].Model) {
+			if !seen[child] {
+				seen[child] = true
+				probes = append(probes, child)
+			}
+		}
+	}
+	sort.Strings(probes)
+	for _, child := range probes {
+		p.qualified = append(p.qualified,
+			fmt.Sprintf(`r = SELECT X WHERE <%s> X:<entry> [<%s/>] </entry> </%s>`, view, child, view),
+			fmt.Sprintf(`r = SELECT X WHERE <%s> X:<entry><%s/></entry> </%s>`, view, child, view),
+		)
+	}
+	p.infer = inferPool(h.opts.Seed)
+	return p
+}
+
+// buildRemotePools fetches the remote view's DTD and derives generic
+// probes from its root content model.
+func (h *Harness) buildRemotePools() error {
+	view := h.opts.View
+	resp, err := h.client.Get(h.base + "/views/" + view + "/dtd")
+	if err != nil {
+		return fmt.Errorf("load: fetching remote view DTD: %w", err)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("load: remote view DTD: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	d, err := dtd.Parse(string(body))
+	if err != nil {
+		return fmt.Errorf("load: remote view DTD unparseable: %w", err)
+	}
+	p := &payloads{view: view}
+	children := modelNames(d.Types[d.Root].Model)
+	if len(children) == 0 {
+		return fmt.Errorf("load: remote view %s has no element children to probe", view)
+	}
+	for _, c := range children {
+		p.plain = append(p.plain,
+			fmt.Sprintf(`r = SELECT X WHERE <%s> X:<%s/> </%s>`, d.Root, c, d.Root))
+		for _, gc := range modelNames(d.Types[c].Model) {
+			p.qualified = append(p.qualified,
+				fmt.Sprintf(`r = SELECT X WHERE <%s> X:<%s> [<%s/>] </%s> </%s>`, d.Root, c, gc, c, d.Root))
+		}
+	}
+	if len(p.qualified) == 0 {
+		p.qualified = p.plain
+	}
+	p.infer = inferPool(h.opts.Seed)
+	h.pools = p
+	return nil
+}
+
+// inferPool synthesizes small /infer payloads: a DTD (DOCTYPE text)
+// followed by a view definition over it — the format serve.postInfer
+// consumes.
+func inferPool(seed int64) []string {
+	var out []string
+	for i, fam := range []Family{FamilyDisjunctive, FamilyOptional} {
+		d, err := Synthesize(SchemaOptions{Seed: seed + int64(i), Family: fam, Root: "probe", Width: 3, Depth: 3})
+		if err != nil {
+			continue // impossible for the built-in families; keep the pool usable
+		}
+		out = append(out, d.String()+"\n"+`v = SELECT X WHERE <probe> X:<entry><name/></entry> </probe>`)
+	}
+	return out
+}
+
+// modelNames collects the distinct atom names of a content model in
+// first-occurrence order.
+func modelNames(e regex.Expr) []string {
+	var out []string
+	seen := map[string]bool{}
+	var walk func(regex.Expr)
+	walk = func(e regex.Expr) {
+		switch v := e.(type) {
+		case regex.Atom:
+			if !seen[v.Name.Base] {
+				seen[v.Name.Base] = true
+				out = append(out, v.Name.Base)
+			}
+		case regex.Concat:
+			for _, it := range v.Items {
+				walk(it)
+			}
+		case regex.Alt:
+			for _, it := range v.Items {
+				walk(it)
+			}
+		case regex.Star:
+			walk(v.Sub)
+		case regex.Plus:
+			walk(v.Sub)
+		case regex.Opt:
+			walk(v.Sub)
+		}
+	}
+	if e != nil {
+		walk(e)
+	}
+	return out
+}
+
+// Run executes the open-loop stream and returns the evaluated report.
+// The schedule never waits for completions: each op is dispatched at its
+// planned time if an in-flight slot is free, and shed (counted, not sent)
+// otherwise, so an overloaded server shows up as latency and shed in the
+// report instead of silently stretching the run.
+func (h *Harness) Run(ctx context.Context) (*Report, error) {
+	ops := h.Plan()
+	rep := newReport(h.opts)
+
+	type opRecord struct {
+		hist         *obs.Histogram
+		count, errs  atomic.Int64
+		shed, pruned atomic.Int64
+		degraded     atomic.Int64
+	}
+	recs := map[OpKind]*opRecord{}
+	for _, k := range OpKinds() {
+		recs[k] = &opRecord{hist: obs.NewHistogram()}
+	}
+
+	slots := make(chan struct{}, h.opts.MaxInFlight)
+	var wg sync.WaitGroup
+	start := time.Now()
+	timer := time.NewTimer(0)
+	defer timer.Stop()
+	if !timer.Stop() {
+		<-timer.C
+	}
+
+dispatch:
+	for i := range ops {
+		op := &ops[i]
+		wait := time.Until(start.Add(op.At))
+		if wait > 0 {
+			timer.Reset(wait)
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				break dispatch
+			}
+		} else if ctx.Err() != nil {
+			break dispatch
+		}
+		rec := recs[op.Kind]
+		select {
+		case slots <- struct{}{}:
+		default:
+			rec.shed.Add(1)
+			continue
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-slots }()
+			t0 := time.Now()
+			status, hdr, err := h.do(ctx, op)
+			rec.hist.Observe(time.Since(t0))
+			rec.count.Add(1)
+			if err != nil || status >= 400 {
+				rec.errs.Add(1)
+			}
+			if hdr.Get("X-Mix-Pruned-Sources") != "" {
+				rec.pruned.Add(1)
+			}
+			if hdr.Get("X-Mix-Degraded") == "true" {
+				rec.degraded.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep.Planned = int64(len(ops))
+	rep.ElapsedSeconds = elapsed.Seconds()
+	for _, k := range OpKinds() {
+		rec := recs[k]
+		st := OpStats{
+			Count:             rec.count.Load(),
+			Errors:            rec.errs.Load(),
+			Shed:              rec.shed.Load(),
+			PrunedResponses:   rec.pruned.Load(),
+			DegradedResponses: rec.degraded.Load(),
+			Latency:           rec.hist.Snapshot(),
+		}
+		rep.Ops[string(k)] = st
+		rep.Requests += st.Count
+		rep.Errors += st.Errors
+		rep.Shed += st.Shed
+	}
+	if rep.Requests > 0 {
+		rep.ErrorRate = float64(rep.Errors) / float64(rep.Requests)
+	}
+	if elapsed > 0 {
+		rep.AchievedRPS = float64(rep.Requests) / elapsed.Seconds()
+	}
+
+	if err := h.scrape(ctx, rep); err != nil {
+		return nil, err
+	}
+	if h.opts.PruneCompare {
+		pc, err := h.pruneCompare(ctx)
+		if err != nil {
+			return nil, err
+		}
+		rep.PruneCompare = pc
+	}
+	rep.Evaluate(h.opts.SLO)
+	return rep, ctx.Err()
+}
+
+// do issues one op's HTTP request and drains the response.
+func (h *Harness) do(ctx context.Context, op *Op) (int, http.Header, error) {
+	var body io.Reader
+	if op.Body != "" {
+		body = strings.NewReader(op.Body)
+	}
+	req, err := http.NewRequestWithContext(ctx, op.Method, h.base+op.Path, body)
+	if err != nil {
+		return 0, http.Header{}, err
+	}
+	resp, err := h.client.Do(req)
+	if err != nil {
+		return 0, http.Header{}, err
+	}
+	defer resp.Body.Close()
+	_, err = io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode, resp.Header, err
+}
+
+// scrape pulls the server's /metrics snapshot into the report.
+func (h *Harness) scrape(ctx context.Context, rep *Report) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, h.base+"/metrics", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := h.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("load: scraping /metrics: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("load: scraping /metrics: %s", resp.Status)
+	}
+	return decodeStats(resp.Body, &rep.Server)
+}
+
+// pruneCompare answers every distinct query of the pools against two
+// fresh mediators over the same corpora — pruning on and pruning off —
+// and counts answer mismatches (there must be none: pruning is proof-
+// based, not heuristic).
+func (h *Harness) pruneCompare(ctx context.Context) (*PruneCompare, error) {
+	build := func(prune bool) (*mediator.Mediator, error) {
+		m := mediator.New("compare")
+		m.SetPruning(prune)
+		var parts []mediator.ViewPart
+		for _, s := range h.sources {
+			w, err := mediator.NewStaticSource(s.Name, s.Doc, s.DTD)
+			if err != nil {
+				return nil, err
+			}
+			if err := m.AddSource(w); err != nil {
+				return nil, err
+			}
+			parts = append(parts, mediator.ViewPart{
+				Source: s.Name,
+				Query:  xmas.MustParse(fmt.Sprintf(`SELECT X WHERE <%s> X:<entry/> </%s>`, s.Name, s.Name)),
+			})
+		}
+		if _, err := m.DefineUnionView(h.opts.View, parts); err != nil {
+			return nil, err
+		}
+		return m, nil
+	}
+	pruned, err := build(true)
+	if err != nil {
+		return nil, err
+	}
+	unpruned, err := build(false)
+	if err != nil {
+		return nil, err
+	}
+	pc := &PruneCompare{}
+	for _, body := range append(append([]string(nil), h.pools.plain...), h.pools.qualified...) {
+		q, err := xmas.Parse(body)
+		if err != nil {
+			return nil, err
+		}
+		a, astats, err := pruned.Query(ctx, h.opts.View, q)
+		if err != nil {
+			return nil, err
+		}
+		b, _, err := unpruned.Query(ctx, h.opts.View, q)
+		if err != nil {
+			return nil, err
+		}
+		pc.Queries++
+		if len(astats.PrunedSources) > 0 {
+			pc.PrunedQueries++
+		}
+		if !a.Root.Equal(b.Root) {
+			pc.Mismatches++
+		}
+	}
+	return pc, nil
+}

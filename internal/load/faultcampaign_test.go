@@ -1,0 +1,321 @@
+package load
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/mediator"
+	"repro/internal/serve"
+	"repro/internal/xmas"
+	"repro/internal/xmlmodel"
+)
+
+// swappable lets a test replace a leaf server's handler between campaign
+// phases (clean → faulty → clean) without restarting the server.
+type swappable struct {
+	mu sync.Mutex
+	h  http.Handler
+}
+
+func (s *swappable) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	h := s.h
+	s.mu.Unlock()
+	h.ServeHTTP(w, r)
+}
+
+func (s *swappable) set(h http.Handler) {
+	s.mu.Lock()
+	s.h = h
+	s.mu.Unlock()
+}
+
+// campaign is the distributed 6-source fixture: each leaf is its own
+// mediator served over HTTP behind a swappable FaultyHandler; the top
+// mediator consumes the leaves through breaker-guarded HTTPSources under
+// one union view "all".
+type campaign struct {
+	top      *mediator.Mediator
+	topSrv   *httptest.Server
+	leaves   []*httptest.Server
+	inner    []http.Handler
+	swap     []*swappable
+	breakers []*mediator.BreakerSource
+	names    []string // per-leaf source name as the top mediator knows it
+	lastDoc  *xmlmodel.Document
+}
+
+// kind-bearing leaves: index 2 (disjunctive) and 4 (mixed); a query
+// qualified on <kind/> is provably empty against the other four.
+var campaignFamilies = []Family{
+	FamilyOptional, FamilyRecursive, FamilyDisjunctive,
+	FamilyIDRef, FamilyMixed, FamilyOptional,
+}
+
+func newCampaign(t *testing.T) *campaign {
+	t.Helper()
+	c := &campaign{top: mediator.New("top")}
+	var parts []mediator.ViewPart
+	for i, fam := range campaignFamilies {
+		src, err := BuildSource("raw", SourceOptions{
+			Schema: SchemaOptions{Seed: int64(100 + i), Family: fam},
+			Gen:    gen.Options{MaxDepth: 6, LengthBias: 0.3, AssignIDs: true},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		leafMed := mediator.New(fmt.Sprintf("leaf%d", i))
+		wrapper, err := mediator.NewStaticSource("raw", src.Doc, src.DTD)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := leafMed.AddSource(wrapper); err != nil {
+			t.Fatal(err)
+		}
+		view := fmt.Sprintf("site%d", i)
+		if _, err := leafMed.DefineUnionView(view, []mediator.ViewPart{{
+			Source: "raw",
+			Query:  xmas.MustParse(`SELECT X WHERE <raw> X:<entry/> </raw>`),
+		}}); err != nil {
+			t.Fatal(err)
+		}
+		inner := serve.New(leafMed)
+		sw := &swappable{h: inner}
+		leaf := httptest.NewServer(sw)
+		t.Cleanup(leaf.Close)
+		c.leaves = append(c.leaves, leaf)
+		c.inner = append(c.inner, inner)
+		c.swap = append(c.swap, sw)
+
+		hs, err := mediator.NewHTTPSource(leaf.Client(), leaf.URL, view, mediator.WithRetries(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		bs := mediator.NewBreakerSource(hs, mediator.BreakerOptions{
+			Threshold: 2,
+			Cooldown:  time.Hour, // no half-open probes during the test
+		})
+		c.breakers = append(c.breakers, bs)
+		c.names = append(c.names, bs.Name())
+		if err := c.top.AddSource(bs); err != nil {
+			t.Fatal(err)
+		}
+		parts = append(parts, mediator.ViewPart{
+			Source: bs.Name(),
+			Query:  xmas.MustParse(fmt.Sprintf(`SELECT X WHERE <%s> X:<entry/> </%s>`, view, view)),
+		})
+	}
+	if _, err := c.top.DefineUnionView("all", parts); err != nil {
+		t.Fatal(err)
+	}
+	c.topSrv = httptest.NewServer(serve.New(c.top))
+	t.Cleanup(c.topSrv.Close)
+	return c
+}
+
+func (c *campaign) post(t *testing.T, query string) (int, http.Header) {
+	t.Helper()
+	resp, err := c.topSrv.Client().Post(
+		c.topSrv.URL+"/views/all/query", "text/plain", strings.NewReader(query))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header
+}
+
+// answer runs q against the top mediator with pruning toggled as given.
+func (c *campaign) answer(t *testing.T, q string, prune bool) *mediator.QueryStats {
+	t.Helper()
+	c.top.SetPruning(prune)
+	defer c.top.SetPruning(true)
+	doc, stats, err := c.top.Query(context.Background(), "all", xmas.MustParse(q))
+	if err != nil {
+		t.Fatalf("query (prune=%v): %v", prune, err)
+	}
+	c.lastDoc = doc
+	return stats
+}
+
+func faultBurst(n, status int) []mediator.WireFault {
+	out := make([]mediator.WireFault, n)
+	for i := range out {
+		out[i].Status = status
+	}
+	return out
+}
+
+const (
+	plainQ = `r = SELECT X WHERE <all> X:<entry/> </all>`
+	kindQ  = `r = SELECT X WHERE <all> X:<entry> [<kind/>] </entry> </all>`
+)
+
+// TestFaultCampaignPruningAndBreakersIndependent is the end-to-end
+// resilience property of the serving stack: under wire-level fault
+// campaigns against a 6-source distributed union,
+//
+//   - pruned answers stay bit-identical to unpruned answers,
+//   - a pruned source's faults are invisible (it is never contacted, so
+//     its breaker never trips), while an unpruned faulty source trips its
+//     own breaker independently, and
+//   - X-Mix-Pruned-Sources and X-Mix-Degraded[-Sources] never conflate:
+//     a source appears in one or the other, never both.
+func TestFaultCampaignPruningAndBreakersIndependent(t *testing.T) {
+	c := newCampaign(t)
+
+	// Phase A: clean fleet. Plain queries touch everything, no headers;
+	// kind-qualified queries prune the four kind-less leaves.
+	code, hdr := c.post(t, plainQ)
+	if code != 200 {
+		t.Fatalf("clean plain query: %d", code)
+	}
+	if hdr.Get("X-Mix-Degraded") != "" || hdr.Get("X-Mix-Pruned-Sources") != "" {
+		t.Errorf("clean plain query advertised pruning/degradation: %v", hdr)
+	}
+	code, hdr = c.post(t, kindQ)
+	if code != 200 {
+		t.Fatalf("clean kind query: %d", code)
+	}
+	pruned := strings.Split(hdr.Get("X-Mix-Pruned-Sources"), ",")
+	if len(pruned) != 4 {
+		t.Fatalf("kind query pruned %v, want the 4 kind-less sources", pruned)
+	}
+	for _, i := range []int{0, 1, 3, 5} {
+		if !contains(pruned, c.names[i]) {
+			t.Errorf("kind-less source %d missing from pruned list %v", i, pruned)
+		}
+	}
+	if hdr.Get("X-Mix-Degraded") != "" {
+		t.Error("pruning must not be advertised as degradation")
+	}
+
+	// Soundness on the clean fleet: pruned and unpruned answers are
+	// bit-identical.
+	on := c.answer(t, kindQ, true)
+	docOn := c.lastDoc
+	c.answer(t, kindQ, false)
+	docOff := c.lastDoc
+	if !docOn.Root.Equal(docOff.Root) {
+		t.Error("clean fleet: pruned answer differs from unpruned")
+	}
+	if len(on.PrunedSources) != 4 {
+		t.Errorf("direct query pruned %v", on.PrunedSources)
+	}
+
+	// Phase B: 503 burst at leaf 0 — a source the kind query prunes.
+	// The qualified query sails through without ever contacting it.
+	faulty0 := mediator.NewFaultyHandler(c.inner[0], faultBurst(20, http.StatusServiceUnavailable)...)
+	c.swap[0].set(faulty0)
+	c.top.Invalidate()
+
+	code, hdr = c.post(t, kindQ)
+	if code != 200 {
+		t.Fatalf("kind query during pruned-source outage: %d", code)
+	}
+	if !contains(strings.Split(hdr.Get("X-Mix-Pruned-Sources"), ","), c.names[0]) {
+		t.Error("faulty leaf 0 should still be pruned")
+	}
+	if hdr.Get("X-Mix-Degraded") != "" {
+		t.Error("outage of a pruned source must not degrade the answer")
+	}
+	if faulty0.Injected() != 0 {
+		t.Errorf("pruned source was contacted %d times during its outage", faulty0.Injected())
+	}
+	if c.breakers[0].BreakerTrips() != 0 {
+		t.Error("pruned source's breaker tripped without being fetched")
+	}
+
+	// Plain queries DO touch leaf 0: two hard failures (breaker closed ⇒
+	// the whole view fails), then the breaker opens and the view degrades.
+	for i := 0; i < 2; i++ {
+		code, _ = c.post(t, plainQ)
+		if code < 500 {
+			t.Fatalf("plain query %d during outage: %d, want 5xx", i, code)
+		}
+	}
+	code, hdr = c.post(t, plainQ)
+	if code != 200 {
+		t.Fatalf("post-trip plain query: %d", code)
+	}
+	if hdr.Get("X-Mix-Degraded") != "true" {
+		t.Fatal("post-trip plain query must be degraded")
+	}
+	if got := hdr.Get("X-Mix-Degraded-Sources"); got != c.names[0] {
+		t.Errorf("degraded sources = %q, want %q", got, c.names[0])
+	}
+	if hdr.Get("X-Mix-Pruned-Sources") != "" {
+		t.Error("plain query must not claim pruning")
+	}
+	if c.breakers[0].BreakerTrips() != 1 {
+		t.Errorf("leaf 0 trips = %d, want 1", c.breakers[0].BreakerTrips())
+	}
+
+	// Phase C: 503 burst at leaf 2 — kind-bearing, NOT pruned by kindQ.
+	// Its breaker trips independently of leaf 0's; once open, the kind
+	// query carries BOTH headers with disjoint source lists.
+	faulty2 := mediator.NewFaultyHandler(c.inner[2], faultBurst(20, http.StatusServiceUnavailable)...)
+	c.swap[2].set(faulty2)
+	c.top.Invalidate()
+	for i := 0; i < 2; i++ {
+		code, _ = c.post(t, kindQ)
+		if code < 500 {
+			t.Fatalf("kind query %d during unpruned outage: %d, want 5xx", i, code)
+		}
+	}
+	code, hdr = c.post(t, kindQ)
+	if code != 200 {
+		t.Fatalf("post-trip kind query: %d", code)
+	}
+	prunedList := strings.Split(hdr.Get("X-Mix-Pruned-Sources"), ",")
+	degradedList := strings.Split(hdr.Get("X-Mix-Degraded-Sources"), ",")
+	if hdr.Get("X-Mix-Degraded") != "true" || len(degradedList) != 1 || degradedList[0] != c.names[2] {
+		t.Errorf("degraded = %q %v, want just %q", hdr.Get("X-Mix-Degraded"), degradedList, c.names[2])
+	}
+	if len(prunedList) != 4 || contains(prunedList, c.names[2]) {
+		t.Errorf("pruned = %v, must be the 4 kind-less sources and never the degraded one", prunedList)
+	}
+	for _, d := range degradedList {
+		if contains(prunedList, d) {
+			t.Errorf("source %q conflated: both pruned and degraded", d)
+		}
+	}
+	if c.breakers[2].BreakerTrips() != 1 {
+		t.Errorf("leaf 2 trips = %d, want 1", c.breakers[2].BreakerTrips())
+	}
+	for _, i := range []int{1, 3, 4, 5} {
+		if c.breakers[i].BreakerTrips() != 0 {
+			t.Errorf("healthy leaf %d tripped", i)
+		}
+	}
+
+	// Soundness under partial outage: with leaves 0 and 2 breaker-open,
+	// pruned and unpruned answers are still bit-identical (pruning only
+	// removes provably-empty parts; degradation hits both runs equally).
+	c.answer(t, kindQ, true)
+	docOn = c.lastDoc
+	c.answer(t, kindQ, false)
+	docOff = c.lastDoc
+	if !docOn.Root.Equal(docOff.Root) {
+		t.Error("under outage: pruned answer differs from unpruned")
+	}
+}
+
+func contains(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}

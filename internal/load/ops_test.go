@@ -1,0 +1,63 @@
+package load
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestParseMix(t *testing.T) {
+	mix, err := ParseMix("query=5,infer=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []MixEntry{{OpQuery, 5}, {OpInfer, 1}}
+	if !reflect.DeepEqual(mix, want) {
+		t.Errorf("mix = %+v, want %+v", mix, want)
+	}
+	for _, bad := range []string{"", "query", "query=x", "teleport=3", "query=-1"} {
+		if _, err := ParseMix(bad); err == nil {
+			t.Errorf("ParseMix(%q) must fail", bad)
+		}
+	}
+}
+
+// TestPlanDeterministic: the operation stream is a pure function of seed,
+// rate, duration, mix and pools — op for op, including send times.
+func TestPlanDeterministic(t *testing.T) {
+	p := &payloads{
+		view:      "v",
+		plain:     []string{"q1", "q2"},
+		qualified: []string{"c1", "c2", "c3"},
+		infer:     []string{"i1"},
+	}
+	a := plan(42, 200, time.Second, DefaultMix(), p)
+	b := plan(42, 200, time.Second, DefaultMix(), p)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different op streams")
+	}
+	if len(a) != 200 {
+		t.Errorf("plan length = %d, want 200", len(a))
+	}
+	c := plan(43, 200, time.Second, DefaultMix(), p)
+	if reflect.DeepEqual(a, c) {
+		t.Error("different seeds produced identical op streams")
+	}
+	// Open-loop: send times come from the rate alone, evenly spaced.
+	interval := a[1].At - a[0].At
+	for i := 1; i < len(a); i++ {
+		if a[i].At-a[i-1].At != interval {
+			t.Fatalf("uneven spacing at op %d", i)
+		}
+	}
+	// Every kind in the default mix appears in a 200-op stream.
+	kinds := map[OpKind]int{}
+	for _, op := range a {
+		kinds[op.Kind]++
+	}
+	for _, k := range OpKinds() {
+		if kinds[k] == 0 {
+			t.Errorf("kind %s absent from 200-op default-mix stream", k)
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package load
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/xmlmodel"
+)
+
+// TestSynthesizeDeterministic: the synthesizer is a pure function of its
+// options — same seed and family, same DTD, byte for byte.
+func TestSynthesizeDeterministic(t *testing.T) {
+	for _, fam := range Families() {
+		for _, seed := range []int64{1, 7, 42} {
+			opts := SchemaOptions{Seed: seed, Family: fam}
+			a, err := Synthesize(opts)
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", fam, seed, err)
+			}
+			b, err := Synthesize(opts)
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", fam, seed, err)
+			}
+			if a.String() != b.String() {
+				t.Errorf("%s seed %d: same options produced different DTDs:\n%s\nvs\n%s",
+					fam, seed, a.String(), b.String())
+			}
+		}
+	}
+}
+
+// TestCorpusValidatesAgainstSynthesizedDTD is the harness's soundness
+// property: every document the load generator emits validates against the
+// very DTD it was synthesized from — across every schema family, several
+// seeds, and several documents per corpus. A violation here means the
+// fleet would feed the mediator invalid sources and every downstream
+// measurement would be garbage.
+func TestCorpusValidatesAgainstSynthesizedDTD(t *testing.T) {
+	for _, fam := range Families() {
+		fam := fam
+		t.Run(string(fam), func(t *testing.T) {
+			for _, seed := range []int64{1, 7, 42, 1234} {
+				d, err := Synthesize(SchemaOptions{Seed: seed, Family: fam})
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if errs := d.Check(); len(errs) > 0 {
+					t.Fatalf("seed %d: synthesized DTD fails its own check: %v", seed, errs)
+				}
+				g, err := gen.New(d, gen.Options{Seed: seed, MaxDepth: 8, LengthBias: 0.25, AssignIDs: true})
+				if err != nil {
+					t.Fatalf("seed %d: generator rejects synthesized DTD: %v", seed, err)
+				}
+				for i, doc := range g.Corpus(5) {
+					LinkRefs(doc, seed)
+					if err := d.Validate(doc); err != nil {
+						t.Errorf("seed %d doc %d: invalid against its own DTD: %v", seed, i, err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestBuildSourceDeterministicAndLinked: BuildSource is seed-deterministic
+// end to end (schema and document), and the idref families' *ref leaves
+// point at real element IDs after LinkRefs.
+func TestBuildSourceDeterministic(t *testing.T) {
+	opts := SourceOptions{
+		Schema: SchemaOptions{Seed: 99, Family: FamilyIDRef},
+		Gen:    gen.Options{MaxDepth: 8, LengthBias: 0.25, AssignIDs: true},
+	}
+	a, err := BuildSource("site0", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildSource("site0", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.DTD.String() != b.DTD.String() {
+		t.Error("same seed produced different schemas")
+	}
+	if !a.Doc.Root.Equal(b.Doc.Root) {
+		t.Error("same seed produced different documents")
+	}
+	ids := map[string]bool{}
+	a.Doc.Root.Walk(func(e *xmlmodel.Element) bool {
+		if e.ID != "" {
+			ids[e.ID] = true
+		}
+		return true
+	})
+	refs := 0
+	a.Doc.Root.Walk(func(e *xmlmodel.Element) bool {
+		if e.IsText && len(e.Name) > 3 && e.Name[len(e.Name)-3:] == "ref" {
+			refs++
+			if !ids[e.Text] {
+				t.Errorf("%s leaf %q does not reference a real element ID", e.Name, e.Text)
+			}
+		}
+		return true
+	})
+	if refs == 0 {
+		t.Skip("corpus has no auctions at this seed; cross-link check vacuous")
+	}
+}
+
+// TestSynthesizeFamiliesDiffer: the per-source extra leaf makes a fleet
+// heterogeneous — at least two of a handful of seeds must disagree on
+// schema for the same family (otherwise qualified probes never prune).
+func TestSynthesizeSeedsDiffer(t *testing.T) {
+	seen := map[string]bool{}
+	for seed := int64(0); seed < 6; seed++ {
+		d, err := Synthesize(SchemaOptions{Seed: seed, Family: FamilyOptional})
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[d.String()] = true
+	}
+	if len(seen) < 2 {
+		t.Error("six seeds produced one identical schema; fleet would be homogeneous")
+	}
+}
+
+func TestParseFamily(t *testing.T) {
+	for _, f := range Families() {
+		got, err := ParseFamily(string(f))
+		if err != nil || got != f {
+			t.Errorf("ParseFamily(%q) = %v, %v", f, got, err)
+		}
+	}
+	if _, err := ParseFamily("auctionhouse"); err == nil {
+		t.Error("unknown family must be rejected")
+	}
+}
+
+// TestSynthesizeWidthDepthKnobs: the Depth/Width knobs actually change the
+// schema (deeper optional chains, wider disjunctions).
+func TestSynthesizeWidthDepthKnobs(t *testing.T) {
+	shallow, err := Synthesize(SchemaOptions{Seed: 1, Family: FamilyOptional, Depth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deep, err := Synthesize(SchemaOptions{Seed: 1, Family: FamilyOptional, Depth: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := deep.Types["profile8"]; !ok {
+		t.Error("Depth=9 must declare profile8")
+	}
+	if _, ok := shallow.Types["profile2"]; ok {
+		t.Error("Depth=2 must not declare profile2")
+	}
+	wide, err := Synthesize(SchemaOptions{Seed: 1, Family: FamilyDisjunctive, Width: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := wide.Types[fmt.Sprintf("variant%d", 6)]; !ok {
+		t.Error("Width=7 must declare variant6")
+	}
+}

@@ -16,6 +16,7 @@
 //	GET  /debug/trace               ring buffer of recent request traces
 //	POST /infer                     body: DOCTYPE + XMAS query; response:
 //	                                inferred s-DTD, plain DTD, classification
+//	POST /invalidate                flush the materialization cache
 //
 // Queries posted to a view are answered through the mediator's
 // DTD-simplifying path; the X-Mix-Skipped/X-Mix-Pruned response headers
@@ -109,7 +110,16 @@ func New(m *mediator.Mediator, opts ...Option) *Handler {
 	h.mux.HandleFunc("GET /metrics", h.getMetrics)
 	h.mux.HandleFunc("GET /debug/trace", h.getDebugTrace)
 	h.mux.HandleFunc("POST /infer", h.postInfer)
+	h.mux.HandleFunc("POST /invalidate", h.postInvalidate)
 	return h
+}
+
+// postInvalidate flushes the materialization cache: the next request per
+// view re-fetches every source. This is the refresh signal an operator
+// (or the load harness's invalidate ops) sends after sources change.
+func (h *Handler) postInvalidate(w http.ResponseWriter, r *http.Request) {
+	h.m.Invalidate()
+	w.WriteHeader(http.StatusNoContent)
 }
 
 // Tracer returns the handler's request tracer (the /debug/trace source).
