@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test vet lint race fault fuzz check bench bench-compare bench-prune bench-serve load-smoke experiments cover clean fmt ci
+.PHONY: all build test vet lint race fault fuzz check bench bench-compare bench-prune bench-stream bench-serve load-smoke experiments cover clean fmt ci
 
 all: build vet test
 
@@ -76,6 +76,16 @@ bench-compare:
 # BENCH_prune.json across commits to track pruning's figure of merit.
 bench-prune:
 	go test -run '^$$' -bench BenchmarkPruneUnionQuery -benchmem ./internal/mediator | go run ./cmd/benchjson | tee BENCH_prune.json
+
+# Archive the streaming-validation and delta-maintenance benchmarks
+# (ValidateDoc: Cold = tree parse + validate, Warm = streaming validator;
+# InvalidateMix: Cold = global invalidate, Warm = per-source delta
+# invalidate) as JSON with the cold/warm speedup factors. Compare
+# BENCH_stream.json across commits — `benchjson -compare old.json
+# new.json` is the mechanical ratchet.
+bench-stream:
+	go test -run '^$$' -bench 'BenchmarkValidateDoc|BenchmarkInvalidateMix' -benchmem \
+		./internal/dtd ./internal/mediator | go run ./cmd/benchjson | tee BENCH_stream.json
 
 # Sustained-load SLO run (cmd/mixload): a deterministic open-loop mixed
 # operation stream over a synthesized XMark-class fleet, asserted against

@@ -6,11 +6,22 @@
 // Besides the per-benchmark numbers it pairs every BenchmarkXxxCold with
 // its BenchmarkXxxWarm sibling and reports the speedup — the figure of
 // merit for the compiled-automata cache.
+//
+// With -compare, benchjson instead diffs two archived reports:
+//
+//	benchjson -compare [-threshold 0.25] old.json new.json
+//
+// Every benchmark present in both reports is compared on ns/op; a
+// regression beyond the threshold (default +25%) is reported and the exit
+// status is 1 — the automated cross-commit ratchet for the BENCH_*.json
+// artifacts. Benchmarks appearing in only one report are noted but never
+// fail the run (suites are allowed to grow).
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"strconv"
@@ -42,6 +53,17 @@ type Report struct {
 }
 
 func main() {
+	compareMode := flag.Bool("compare", false, "diff two archived reports (old.json new.json) instead of reading bench output from stdin")
+	threshold := flag.Float64("threshold", 0.25, "with -compare: fail on ns/op regressions beyond this fraction (0.25 = +25%)")
+	flag.Parse()
+	if *compareMode {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two arguments: old.json new.json")
+			os.Exit(2)
+		}
+		os.Exit(compare(flag.Arg(0), flag.Arg(1), *threshold))
+	}
+
 	rep := Report{}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -90,6 +112,69 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println(string(out))
+}
+
+// compare diffs two archived reports on ns/op and returns the process exit
+// code: 0 when no common benchmark regressed beyond the threshold, 1 when
+// at least one did, 2 on unreadable input.
+func compare(oldPath, newPath string, threshold float64) int {
+	oldRep, err := readReport(oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	newRep, err := readReport(newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	oldBy := map[string]Result{}
+	for _, r := range oldRep.Benchmarks {
+		oldBy[r.Name] = r
+	}
+	regressions := 0
+	compared := 0
+	for _, nw := range newRep.Benchmarks {
+		od, ok := oldBy[nw.Name]
+		if !ok {
+			fmt.Printf("NEW     %-50s %12.1f ns/op (no baseline)\n", nw.Name, nw.NsPerOp)
+			continue
+		}
+		delete(oldBy, nw.Name)
+		if od.NsPerOp <= 0 {
+			continue
+		}
+		compared++
+		delta := (nw.NsPerOp - od.NsPerOp) / od.NsPerOp
+		verdict := "ok"
+		if delta > threshold {
+			verdict = "REGRESSION"
+			regressions++
+		}
+		fmt.Printf("%-7s %-50s %12.1f -> %12.1f ns/op  %+6.1f%%\n",
+			verdict, nw.Name, od.NsPerOp, nw.NsPerOp, delta*100)
+	}
+	for name := range oldBy {
+		fmt.Printf("GONE    %-50s (present only in %s)\n", name, oldPath)
+	}
+	if regressions > 0 {
+		fmt.Printf("FAIL: %d of %d benchmarks regressed more than %.0f%%\n", regressions, compared, threshold*100)
+		return 1
+	}
+	fmt.Printf("ok: %d benchmarks within %.0f%% of baseline\n", compared, threshold*100)
+	return 0
+}
+
+func readReport(path string) (Report, error) {
+	var rep Report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return rep, fmt.Errorf("%s: %v", path, err)
+	}
+	return rep, nil
 }
 
 // parseLine parses one "BenchmarkName-8  1000  123.4 ns/op  56 B/op

@@ -41,7 +41,7 @@ func main() {
 	width := flag.Int("width", 0, "schema width parameter (disjunctions, markup names); 0 = default")
 	docDepth := flag.Int("doc-depth", 0, "corpus document depth budget; 0 = default")
 	docBias := flag.Float64("doc-length-bias", 0, "corpus length bias in (0,1]; lower = larger documents; 0 = default")
-	mixFlag := flag.String("mix", "", "operation mix as kind=weight,... (kinds: query, qualified, materialize, infer, invalidate)")
+	mixFlag := flag.String("mix", "", "operation mix as kind=weight,... (kinds: query, qualified, materialize, infer, invalidate, invalidate-source)")
 	target := flag.String("target", "", "drive a remote mixserve at this base URL instead of the in-process harness")
 	view := flag.String("view", "", "view to drive (default: the in-process union view 'load')")
 	maxInFlight := flag.Int("max-inflight", 0, "bound on concurrent in-flight requests; 0 = default")

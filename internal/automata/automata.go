@@ -47,6 +47,19 @@ func (d *DFA) SymbolIndex(n regex.Name) (int, bool) {
 	return i, ok
 }
 
+// Step returns the successor of state s on symbol n. A name outside the
+// alphabet has no representable transition (it leads to the implicit dead
+// behaviour, as in Match) and Step returns (s, false). Streaming
+// validation uses this to advance one DFA per open element without
+// materializing the children word.
+func (d *DFA) Step(s int, n regex.Name) (int, bool) {
+	ai, ok := d.index[n]
+	if !ok {
+		return s, false
+	}
+	return d.Trans[s][ai], true
+}
+
 // thompson NFA fragment machinery.
 
 type nfa struct {

@@ -1,0 +1,210 @@
+package dtd
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+
+	"repro/internal/automata"
+	"repro/internal/regex"
+	"repro/internal/xmlmodel"
+)
+
+// StreamStats is a snapshot of the process-wide streaming-validation
+// counters: documents validated, scanner events consumed, input bytes
+// covered. internal/serve surfaces them at /metrics.
+type StreamStats struct {
+	Documents int64 `json:"documents"`
+	Events    int64 `json:"events"`
+	Bytes     int64 `json:"bytes"`
+}
+
+var streamDocuments, streamEvents, streamBytes atomic.Int64
+
+// StreamValidationStats returns the current streaming-validation counters.
+func StreamValidationStats() StreamStats {
+	return StreamStats{
+		Documents: streamDocuments.Load(),
+		Events:    streamEvents.Load(),
+		Bytes:     streamBytes.Load(),
+	}
+}
+
+// ValidateStream validates a document text against the DTD without
+// building a tree: a SAX-style scan (xmlmodel.Scanner) drives the
+// compiled content-model DFAs directly, one explicit stack frame per open
+// element. Memory is O(depth) and the allocation count is independent of
+// document size — the per-call costs are the frame stack and one
+// automata-cache lookup per distinct element name — so arbitrarily large
+// source payloads validate without being materialized.
+//
+// It accepts exactly the documents that Parse plus Validate accept, and
+// rejects exactly the ones they reject (property-tested); only error
+// positions and messages may differ, because the scan reports the first
+// violation in document order while the tree validator reports the first
+// in preorder.
+func (d *DTD) ValidateStream(input string) error {
+	streamDocuments.Add(1)
+	streamBytes.Add(int64(len(input)))
+	v := streamValidator{d: d, types: make(map[string]streamType, len(d.Types))}
+	sc := xmlmodel.NewScanner(input)
+	events := int64(0)
+	err := func() error {
+		for {
+			ev, err := sc.Next()
+			if err != nil {
+				return err
+			}
+			events++
+			switch ev.Kind {
+			case xmlmodel.EventStart:
+				if err := v.open(ev.Name); err != nil {
+					return err
+				}
+			case xmlmodel.EventText:
+				if err := v.text(); err != nil {
+					return err
+				}
+			case xmlmodel.EventEnd:
+				if err := v.close(); err != nil {
+					return err
+				}
+			case xmlmodel.EventEOF:
+				return nil
+			}
+		}
+	}()
+	streamEvents.Add(events)
+	return err
+}
+
+// streamType is the per-name validation plan: PCDATA or a compiled DFA.
+type streamType struct {
+	pcdata bool
+	dfa    *automata.DFA
+	t      Type
+}
+
+// streamFrame is the state of one open element: its DFA state advances as
+// children open, and acceptance is checked when the element closes.
+type streamFrame struct {
+	name     string
+	idx      int // position among the parent's children (error paths only)
+	st       streamType
+	state    int
+	sawText  bool
+	children int
+}
+
+type streamValidator struct {
+	d     *DTD
+	types map[string]streamType
+	stack []streamFrame
+}
+
+// typeOf resolves the validation plan for a name, memoized per call so the
+// hot loop never re-derives an automata-cache key: the first occurrence of
+// a name costs one (process-wide cached) Compiled lookup, every later one
+// is a map read. Compilation stays lazy — a declared-but-unused
+// pathological content model costs nothing, exactly as in tree validation.
+func (v *streamValidator) typeOf(name string) (streamType, bool) {
+	if st, ok := v.types[name]; ok {
+		return st, true
+	}
+	t, ok := v.d.Types[name]
+	if !ok {
+		return streamType{}, false
+	}
+	st := streamType{pcdata: t.PCDATA, t: t}
+	if !t.PCDATA {
+		st.dfa = automata.Compiled(t.Model)
+	}
+	v.types[name] = st
+	return st, true
+}
+
+func (v *streamValidator) open(name string) error {
+	if len(v.stack) == 0 && name != v.d.Root {
+		return &ValidationError{Path: "/" + name,
+			Msg: fmt.Sprintf("root element is %s, document type requires %s", name, v.d.Root)}
+	}
+	st, declared := v.typeOf(name)
+	idx := 0
+	if len(v.stack) > 0 {
+		parent := &v.stack[len(v.stack)-1]
+		idx = parent.children
+		parent.children++
+		if !declared {
+			return &ValidationError{Path: v.childPath(name, idx),
+				Msg: fmt.Sprintf("element name %s is not declared", name)}
+		}
+		if parent.st.pcdata {
+			return &ValidationError{Path: v.path(),
+				Msg: fmt.Sprintf("%s is declared (#PCDATA) but has element content", parent.name)}
+		}
+		// A child name outside the model's alphabet can never match; a name
+		// inside it advances the DFA, and acceptance is decided at close.
+		next, ok := parent.st.dfa.Step(parent.state, regex.N(name))
+		if !ok {
+			return &ValidationError{Path: v.path(),
+				Msg: fmt.Sprintf("child %s (index %d) cannot occur under content model %s", name, idx, parent.st.t.Model)}
+		}
+		parent.state = next
+	} else if !declared {
+		return &ValidationError{Path: "/" + name,
+			Msg: fmt.Sprintf("element name %s is not declared", name)}
+	}
+	f := streamFrame{name: name, idx: idx, st: st}
+	if !st.pcdata {
+		f.state = st.dfa.Start
+	}
+	v.stack = append(v.stack, f)
+	return nil
+}
+
+func (v *streamValidator) text() error {
+	top := &v.stack[len(v.stack)-1]
+	if !top.st.pcdata {
+		return &ValidationError{Path: v.path(),
+			Msg: fmt.Sprintf("%s has character content but is declared %s", top.name, top.st.t)}
+	}
+	top.sawText = true
+	return nil
+}
+
+func (v *streamValidator) close() error {
+	top := &v.stack[len(v.stack)-1]
+	if top.st.pcdata {
+		if !top.sawText {
+			return &ValidationError{Path: v.path(),
+				Msg: fmt.Sprintf("%s is declared (#PCDATA) but has element content", top.name)}
+		}
+	} else if !top.st.dfa.Accept[top.state] {
+		return &ValidationError{Path: v.path(),
+			Msg: fmt.Sprintf("children do not match content model %s", top.st.t.Model)}
+	}
+	v.stack = v.stack[:len(v.stack)-1]
+	return nil
+}
+
+// path renders the slash path of the current top frame in the tree
+// validator's style (/root/child[0]/grand[2]); only error paths pay for it.
+func (v *streamValidator) path() string {
+	var b strings.Builder
+	for i, f := range v.stack {
+		if i == 0 {
+			b.WriteByte('/')
+			b.WriteString(f.name)
+			continue
+		}
+		fmt.Fprintf(&b, "/%s[%d]", f.name, f.idx)
+	}
+	return b.String()
+}
+
+func (v *streamValidator) childPath(name string, idx int) string {
+	if len(v.stack) == 0 {
+		return "/" + name
+	}
+	return fmt.Sprintf("%s/%s[%d]", v.path(), name, idx)
+}

@@ -1,0 +1,230 @@
+// Corpus-scale properties of the streaming validator, in an external test
+// package because they draw documents from internal/gen (which imports
+// dtd). The property under test is the contract ValidateStream documents:
+// it accepts exactly the documents the tree pipeline (Parse + Validate)
+// accepts — over generated valid corpora, over seeded byte-level
+// mutations of them, and over documents an order of magnitude larger than
+// anything the unit tests touch — with an allocation count independent of
+// document size.
+package dtd_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/dtd"
+	"repro/internal/gen"
+	"repro/internal/xmlmodel"
+)
+
+// propertyDTDs exercises the content-model shapes that stress the DFA
+// walk differently: sequencing with choice (the paper's D1), recursion
+// (deep stacks), and mutual recursion with optionality.
+var propertyDTDs = []struct {
+	name string
+	text string
+}{
+	{"department", `<!DOCTYPE department [
+	  <!ELEMENT department (name, professor+, gradStudent+, course*)>
+	  <!ELEMENT professor (firstName, lastName, publication+, teaches)>
+	  <!ELEMENT gradStudent (firstName, lastName, publication+)>
+	  <!ELEMENT publication (title, author+, (journal|conference))>
+	  <!ELEMENT name (#PCDATA)> <!ELEMENT firstName (#PCDATA)>
+	  <!ELEMENT lastName (#PCDATA)> <!ELEMENT title (#PCDATA)>
+	  <!ELEMENT author (#PCDATA)> <!ELEMENT journal (#PCDATA)>
+	  <!ELEMENT conference (#PCDATA)> <!ELEMENT course (#PCDATA)>
+	  <!ELEMENT teaches (#PCDATA)>
+	]>`},
+	{"recursive", `<!DOCTYPE section [
+	  <!ELEMENT section (prolog, section*, conclusion)>
+	  <!ELEMENT prolog (#PCDATA)> <!ELEMENT conclusion (#PCDATA)>
+	]>`},
+	{"mutual", `<!DOCTYPE a [
+	  <!ELEMENT a (b | leaf)>
+	  <!ELEMENT b (a, a?)>
+	  <!ELEMENT leaf (#PCDATA)>
+	]>`},
+}
+
+// treeVerdict runs the tree pipeline on a document text.
+func treeVerdict(d *dtd.DTD, src string) error {
+	doc, _, err := xmlmodel.Parse(src)
+	if err != nil {
+		return err
+	}
+	return d.Validate(doc)
+}
+
+// TestStreamTreeAgreementOnCorpora checks the positive half of the
+// property: every generated-valid document is stream-accepted.
+func TestStreamTreeAgreementOnCorpora(t *testing.T) {
+	for _, pd := range propertyDTDs {
+		d, err := dtd.Parse(pd.text)
+		if err != nil {
+			t.Fatalf("%s: %v", pd.name, err)
+		}
+		g, err := gen.New(d, gen.Options{Seed: 11, MaxDepth: 8})
+		if err != nil {
+			t.Fatalf("%s: %v", pd.name, err)
+		}
+		for i, doc := range g.Corpus(150) {
+			src := xmlmodel.MarshalElement(doc.Root, 1)
+			if terr := treeVerdict(d, src); terr != nil {
+				t.Fatalf("%s doc %d: tree pipeline rejected a generated document: %v", pd.name, i, terr)
+			}
+			if serr := d.ValidateStream(src); serr != nil {
+				t.Errorf("%s doc %d: stream rejected what tree accepts: %v", pd.name, i, serr)
+			}
+		}
+	}
+}
+
+// TestStreamTreeAgreementUnderMutation checks the whole accept/reject
+// frontier: seeded byte substitutions, deletions and truncations of valid
+// documents produce a mix of still-valid, invalid and malformed texts,
+// and on every one the two pipelines must agree on the verdict (not the
+// message — the scan reports the first violation in document order, the
+// tree walk the first in preorder).
+func TestStreamTreeAgreementUnderMutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	alphabet := "abcdefghij<>/& ;#x01"
+	for _, pd := range propertyDTDs {
+		d, err := dtd.Parse(pd.text)
+		if err != nil {
+			t.Fatalf("%s: %v", pd.name, err)
+		}
+		g, err := gen.New(d, gen.Options{Seed: 29, MaxDepth: 7})
+		if err != nil {
+			t.Fatalf("%s: %v", pd.name, err)
+		}
+		disagreements := 0
+		for _, doc := range g.Corpus(40) {
+			src := xmlmodel.MarshalElement(doc.Root, 0)
+			for m := 0; m < 25; m++ {
+				mut := mutate(rng, src, alphabet)
+				terr := treeVerdict(d, mut)
+				serr := d.ValidateStream(mut)
+				if (terr == nil) != (serr == nil) {
+					disagreements++
+					if disagreements <= 5 {
+						t.Errorf("%s: disagreement on %.80q...: tree=%v stream=%v", pd.name, mut, terr, serr)
+					}
+				}
+			}
+		}
+		if disagreements > 5 {
+			t.Errorf("%s: %d disagreements total", pd.name, disagreements)
+		}
+	}
+}
+
+// mutate applies one random byte-level edit: substitution, deletion,
+// insertion or truncation.
+func mutate(rng *rand.Rand, src, alphabet string) string {
+	if len(src) == 0 {
+		return src
+	}
+	pos := rng.Intn(len(src))
+	switch rng.Intn(4) {
+	case 0: // substitute
+		return src[:pos] + string(alphabet[rng.Intn(len(alphabet))]) + src[pos+1:]
+	case 1: // delete
+		return src[:pos] + src[pos+1:]
+	case 2: // insert
+		return src[:pos] + string(alphabet[rng.Intn(len(alphabet))]) + src[pos:]
+	default: // truncate
+		return src[:pos]
+	}
+}
+
+// largeDoc builds a department document with n professor/gradStudent
+// pairs — hundreds of kilobytes at n=2000, an order of magnitude beyond
+// any unit-test fixture — valid under the paper's D1.
+func largeDoc(n int) string {
+	var b strings.Builder
+	b.WriteString("<department><name>CS</name>")
+	for i := 0; i < n; i++ {
+		b.WriteString("<professor><firstName>x</firstName><lastName>y</lastName>" +
+			"<publication><title>t</title><author>a</author><journal>j</journal></publication>" +
+			"<teaches>z</teaches></professor>")
+	}
+	for i := 0; i < n; i++ {
+		b.WriteString("<gradStudent><firstName>p</firstName><lastName>q</lastName>" +
+			"<publication><title>t</title><author>a</author><conference>c</conference></publication>" +
+			"</gradStudent>")
+	}
+	b.WriteString("</department>")
+	return b.String()
+}
+
+// TestValidateStreamAllocsIndependentOfSize is the O(depth) memory claim
+// as an executable assertion: a document 100× larger must not cost more
+// allocations per validation (the per-call budget is the frame stack, the
+// per-name memo and the scanner — none of which scale with length).
+func TestValidateStreamAllocsIndependentOfSize(t *testing.T) {
+	d, err := dtd.Parse(propertyDTDs[0].text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, big := largeDoc(20), largeDoc(2000)
+	if len(big) < 10*len(small) {
+		t.Fatalf("big doc (%d bytes) is not ≥10× small (%d bytes)", len(big), len(small))
+	}
+	measure := func(src string) float64 {
+		if err := d.ValidateStream(src); err != nil {
+			t.Fatal(err)
+		}
+		return testing.AllocsPerRun(20, func() {
+			if err := d.ValidateStream(src); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	smallAllocs, bigAllocs := measure(small), measure(big)
+	// Identical budgets modulo map-growth jitter: two allocations of slack.
+	if bigAllocs > smallAllocs+2 {
+		t.Errorf("allocs grew with document size: %d bytes -> %.1f allocs, %d bytes -> %.1f allocs",
+			len(small), smallAllocs, len(big), bigAllocs)
+	}
+}
+
+// BenchmarkValidateDocCold is the tree pipeline (parse into a tree, then
+// validate it) on a multi-hundred-KB document; BenchmarkValidateDocWarm
+// is the streaming validator on the same text. benchjson pairs them and
+// reports the speedup in BENCH_stream.json (make bench-stream).
+func BenchmarkValidateDocCold(b *testing.B) {
+	d, err := dtd.Parse(propertyDTDs[0].text)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := largeDoc(2000)
+	b.SetBytes(int64(len(src)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		doc, _, err := xmlmodel.Parse(src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := d.Validate(doc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkValidateDocWarm(b *testing.B) {
+	d, err := dtd.Parse(propertyDTDs[0].text)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := largeDoc(2000)
+	b.SetBytes(int64(len(src)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := d.ValidateStream(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

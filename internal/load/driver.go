@@ -268,6 +268,9 @@ func (h *Harness) buildPools() *payloads {
 			fmt.Sprintf(`r = SELECT X WHERE <%s> X:<entry><%s/></entry> </%s>`, view, child, view),
 		)
 	}
+	for _, s := range h.sources {
+		p.sources = append(p.sources, s.Name)
+	}
 	p.infer = inferPool(h.opts.Seed)
 	return p
 }
@@ -308,9 +311,33 @@ func (h *Harness) buildRemotePools() error {
 	if len(p.qualified) == 0 {
 		p.qualified = p.plain
 	}
+	p.sources = h.fetchRemoteSources()
 	p.infer = inferPool(h.opts.Seed)
 	h.pools = p
 	return nil
+}
+
+// fetchRemoteSources lists the remote fleet (GET /sources, one name per
+// line) for the invalidate-source pool. Failures leave the pool empty —
+// the op then degrades to a global invalidate rather than failing the
+// harness over an optional endpoint.
+func (h *Harness) fetchRemoteSources() []string {
+	resp, err := h.client.Get(h.base + "/sources")
+	if err != nil {
+		return nil
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	var out []string
+	for _, line := range strings.Split(string(body), "\n") {
+		if line = strings.TrimSpace(line); line != "" {
+			out = append(out, line)
+		}
+	}
+	return out
 }
 
 // inferPool synthesizes small /infer payloads: a DTD (DOCTYPE text)

@@ -12,12 +12,23 @@ import (
 // short returns options for a sub-second in-process run: fast enough for
 // `go test`, long enough that every op kind appears in the stream.
 func short(seed int64) Options {
-	return Options{
+	opts := Options{
 		Seed:     seed,
 		RPS:      200,
 		Duration: 1200 * time.Millisecond,
 		Sources:  6,
 	}
+	if raceEnabled {
+		// Under the race detector (usually with every other package's
+		// tests running in parallel) latency and shed ceilings measure
+		// machine contention, not the serving path — skip them. The
+		// functional assertions (errors, degradation, determinism) keep
+		// their teeth.
+		opts.SLO.P95 = Unchecked
+		opts.SLO.P99 = Unchecked
+		opts.SLO.MaxShedRate = UncheckedRate
+	}
+	return opts
 }
 
 // TestHarnessDeterministic is the acceptance criterion for -seed: two
@@ -152,7 +163,8 @@ func TestRunFaultCampaign(t *testing.T) {
 	opts := short(7)
 	opts.FaultRate = 0.4
 	opts.Breakers = true
-	opts.SLO = SLO{ExpectFaults: true, MaxErrorRate: UncheckedRate}
+	opts.SLO.ExpectFaults = true
+	opts.SLO.MaxErrorRate = UncheckedRate
 	h, err := NewHarness(opts)
 	if err != nil {
 		t.Fatal(err)
@@ -185,7 +197,7 @@ func TestStrictSLOSeesFaults(t *testing.T) {
 	opts.Duration = 600 * time.Millisecond
 	opts.FaultRate = 0.9
 	opts.Breakers = true
-	opts.SLO = SLO{MaxErrorRate: UncheckedRate} // strict on degradation only
+	opts.SLO.MaxErrorRate = UncheckedRate // strict on degradation only
 	h, err := NewHarness(opts)
 	if err != nil {
 		t.Fatal(err)

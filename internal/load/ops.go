@@ -25,11 +25,16 @@ const (
 	// OpInvalidate flushes the materialization cache, forcing the next
 	// materialize/query to re-fetch every source.
 	OpInvalidate OpKind = "invalidate"
+	// OpInvalidateSource delta-invalidates one randomly chosen source
+	// ({"source": name} body): only the views depending on it recompute,
+	// and only their parts over that source re-fetch — the traffic that
+	// exercises the per-part cache and the dependency index.
+	OpInvalidateSource OpKind = "invalidate-source"
 )
 
 // OpKinds returns every operation kind in canonical order.
 func OpKinds() []OpKind {
-	return []OpKind{OpQuery, OpQualified, OpMaterialize, OpInfer, OpInvalidate}
+	return []OpKind{OpQuery, OpQualified, OpMaterialize, OpInfer, OpInvalidate, OpInvalidateSource}
 }
 
 // MixEntry weights one operation kind in the stream.
@@ -40,8 +45,9 @@ type MixEntry struct {
 
 // DefaultMix is the standard read-heavy serving mix: mostly queries, a
 // qualified-query tier, periodic materializations and inferences, and
-// rare cache invalidations (the refresh traffic that makes singleflight
-// and generation counters earn their keep).
+// rare cache invalidations — global and per-source in equal measure (the
+// refresh traffic that makes singleflight, generation counters and delta
+// maintenance earn their keep).
 func DefaultMix() []MixEntry {
 	return []MixEntry{
 		{OpQuery, 8},
@@ -49,6 +55,7 @@ func DefaultMix() []MixEntry {
 		{OpMaterialize, 2},
 		{OpInfer, 1},
 		{OpInvalidate, 1},
+		{OpInvalidateSource, 1},
 	}
 }
 
@@ -108,6 +115,7 @@ type payloads struct {
 	plain     []string // plain query bodies
 	qualified []string // qualified/conditioned query bodies
 	infer     []string // /infer bodies (DOCTYPE + view definition)
+	sources   []string // source names for invalidate-source bodies
 	view      string   // view name
 }
 
@@ -153,6 +161,13 @@ func plan(seed int64, rps float64, duration time.Duration, mix []MixEntry, p *pa
 			op.Body = p.infer[rng.Intn(len(p.infer))]
 		case OpInvalidate:
 			op.Method, op.Path = "POST", "/invalidate"
+		case OpInvalidateSource:
+			op.Method, op.Path = "POST", "/invalidate"
+			if len(p.sources) > 0 {
+				op.Body = fmt.Sprintf("{\"source\": %q}", p.sources[rng.Intn(len(p.sources))])
+			}
+			// With no known sources (remote target whose /sources listing
+			// failed) the empty body degrades to a global invalidate.
 		}
 		ops = append(ops, op)
 	}

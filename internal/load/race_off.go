@@ -1,0 +1,7 @@
+//go:build !race
+
+package load
+
+// raceEnabled reports whether this binary was built with the race
+// detector. See race_on.go.
+const raceEnabled = false

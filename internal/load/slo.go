@@ -238,6 +238,10 @@ func (r *Report) Summary() string {
 			fmtSeconds(st.Latency.P50), fmtSeconds(st.Latency.P95), fmtSeconds(st.Latency.P99),
 			st.PrunedResponses, st.DegradedResponses)
 	}
+	if r.Server.SourceInvalidations > 0 || r.Server.PartsReused > 0 || r.Server.PartsRecomputed > 0 {
+		out += fmt.Sprintf("  delta: %d source invalidations, %d parts recomputed, %d reused\n",
+			r.Server.SourceInvalidations, r.Server.PartsRecomputed, r.Server.PartsReused)
+	}
 	if r.PruneCompare != nil {
 		out += fmt.Sprintf("  prune-compare: %d queries (%d pruned), %d mismatches\n",
 			r.PruneCompare.Queries, r.PruneCompare.PrunedQueries, r.PruneCompare.Mismatches)

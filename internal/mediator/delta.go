@@ -1,0 +1,93 @@
+// Delta maintenance: per-source invalidation over the static view→source
+// dependency index. Invalidate (mediator.go) remains the blunt instrument —
+// every generation bumps, every cache clears. InvalidateSource is the
+// scoped form: it bumps one source's generation and the generations of the
+// views that transitively depend on it (through views re-exported as
+// sources of this same mediator via AsSource), so the next materialization
+// of an affected view recomputes only the parts over the invalidated
+// source and serves every other part from the part cache — answers stay
+// bit-identical to full rematerialization (differential-tested).
+package mediator
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// InvalidateSource announces a change of one source: view parts over it
+// (directly, or through stacked views of this mediator) become stale,
+// while every other cached part result stays valid. It returns the sorted
+// names of the affected views — the ones whose materializations were
+// dropped — and ErrUnknownSource when no such source is registered.
+// In-flight materializations of affected views are detached exactly as in
+// Invalidate: they answer their waiting callers but are not cached.
+func (m *Mediator) InvalidateSource(source string) ([]string, error) {
+	m.mu.Lock()
+	if _, ok := m.wrappers[source]; !ok {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("mediator: %w %s", ErrUnknownSource, source)
+	}
+	affected := map[string]bool{}
+	seen := map[string]bool{source: true}
+	work := []string{source}
+	for len(work) > 0 {
+		src := work[len(work)-1]
+		work = work[:len(work)-1]
+		m.srcGen[src]++
+		for key, ent := range m.partCache {
+			if ent.source == src {
+				delete(m.partCache, key)
+			}
+		}
+		for vn := range m.deps[src] {
+			if affected[vn] {
+				continue
+			}
+			affected[vn] = true
+			m.viewGen[vn]++
+			m.dropViewCachesLocked(vn)
+			// Transitive closure through stacked mediators: a view exposed
+			// with AsSource is itself a source of this mediator, so views
+			// over it inherit the staleness.
+			for wname, w := range m.wrappers {
+				if vs, ok := w.(*viewSource); ok && vs.m == m && vs.v.Name == vn && !seen[wname] {
+					seen[wname] = true
+					work = append(work, wname)
+				}
+			}
+		}
+	}
+	m.mu.Unlock()
+	m.stats.add(&m.stats.sourceInvalidations, 1)
+	views := make([]string, 0, len(affected))
+	for vn := range affected {
+		views = append(views, vn)
+	}
+	sort.Strings(views)
+	return views, nil
+}
+
+// dropViewCachesLocked removes the view's materializations (full and every
+// pruned mask) and detaches its in-flight evaluations. m.mu must be held.
+func (m *Mediator) dropViewCachesLocked(view string) {
+	for key := range m.matCache {
+		if cacheKeyView(key) == view {
+			delete(m.matCache, key)
+		}
+	}
+	for key := range m.inflight {
+		if cacheKeyView(key) == view {
+			delete(m.inflight, key)
+		}
+	}
+}
+
+// cacheKeyView extracts the view name from a maskKey: the bare name for
+// the full materialization, the prefix before the NUL for masked ones.
+func cacheKeyView(key string) string {
+	if i := strings.IndexByte(key, 0); i >= 0 {
+		return key[:i]
+	}
+	return key
+}

@@ -1,0 +1,341 @@
+package mediator
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/dtd"
+	"repro/internal/xmas"
+	"repro/internal/xmlmodel"
+)
+
+// deptDocN renders a small valid D1 document whose professor is named
+// after the source, so part provenance is visible in the answers.
+func deptDocN(n int) string {
+	return fmt.Sprintf(`<department>
+  <name>dept%d</name>
+  <professor id="p%d">
+    <firstName>Prof%d</firstName><lastName>L</lastName>
+    <publication id="pub%d"><title>t</title><author>a</author><journal>J</journal></publication>
+    <teaches>c%d</teaches>
+  </professor>
+  <gradStudent id="g%d">
+    <firstName>Grad%d</firstName><lastName>M</lastName>
+    <publication id="gp%d"><title>t</title><author>a</author><conference>C</conference></publication>
+  </gradStudent>
+</department>`, n, n, n, n, n, n, n, n)
+}
+
+// newDeltaMediator builds a mediator over nSources fault-counting static
+// department sources s0..sN-1 and a union view over all of them.
+func newDeltaMediator(t testing.TB, nSources int, view string) (*Mediator, []*FaultSource) {
+	t.Helper()
+	d, err := dtd.Parse(d1Text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New("delta")
+	var faults []*FaultSource
+	var parts []ViewPart
+	for i := 0; i < nSources; i++ {
+		name := fmt.Sprintf("s%d", i)
+		doc, _, err := xmlmodel.Parse(deptDocN(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		src, err := NewStaticSource(name, doc, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fs := NewFaultSource(src) // empty script: counts fetches, injects nothing
+		faults = append(faults, fs)
+		if err := m.AddSource(fs); err != nil {
+			t.Fatal(err)
+		}
+		parts = append(parts, ViewPart{
+			Source: name,
+			Query:  xmas.MustParse(`v = SELECT X WHERE <department> X:<professor/> </department>`),
+		})
+	}
+	if _, err := m.DefineUnionView(view, parts); err != nil {
+		t.Fatal(err)
+	}
+	return m, faults
+}
+
+func fetchCounts(faults []*FaultSource) []int64 {
+	out := make([]int64, len(faults))
+	for i, f := range faults {
+		out[i] = f.Fetches()
+	}
+	return out
+}
+
+// TestInvalidateSourceOnlyRefetchesDependentParts is the delta-maintenance
+// contract as a fetch-count differential: after InvalidateSource(s1) only
+// s1's part re-fetches; a global Invalidate re-fetches everything.
+func TestInvalidateSourceOnlyRefetchesDependentParts(t *testing.T) {
+	ctx := context.Background()
+	m, faults := newDeltaMediator(t, 3, "all")
+
+	first, err := m.Materialize(ctx, "all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fetchCounts(faults); got[0] != 1 || got[1] != 1 || got[2] != 1 {
+		t.Fatalf("initial fetches = %v, want [1 1 1]", got)
+	}
+
+	views, err := m.InvalidateSource("s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(views) != 1 || views[0] != "all" {
+		t.Fatalf("affected views = %v, want [all]", views)
+	}
+	second, err := m.Materialize(ctx, "all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fetchCounts(faults); got[0] != 1 || got[1] != 2 || got[2] != 1 {
+		t.Fatalf("fetches after InvalidateSource(s1) = %v, want [1 2 1]", got)
+	}
+
+	// Bit-identical to the full rematerialization a global invalidate forces.
+	m.Invalidate()
+	third, err := m.Materialize(ctx, "all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fetchCounts(faults); got[0] != 2 || got[1] != 3 || got[2] != 2 {
+		t.Fatalf("fetches after Invalidate() = %v, want [2 3 2]", got)
+	}
+	a, bdoc, c := xmlmodel.MarshalElement(first.Root, 0), xmlmodel.MarshalElement(second.Root, 0), xmlmodel.MarshalElement(third.Root, 0)
+	if a != bdoc || bdoc != c {
+		t.Errorf("answers diverged across invalidation modes:\n%s\n%s\n%s", a, bdoc, c)
+	}
+
+	// Parts-reused/recomputed counters saw the delta materialization.
+	st := m.Stats()
+	if st.SourceInvalidations != 1 {
+		t.Errorf("SourceInvalidations = %d, want 1", st.SourceInvalidations)
+	}
+	if st.PartsReused < 2 {
+		t.Errorf("PartsReused = %d, want ≥2 (s0 and s2 served from the part cache)", st.PartsReused)
+	}
+	if st.PartsRecomputed < 4 {
+		t.Errorf("PartsRecomputed = %d, want ≥4", st.PartsRecomputed)
+	}
+}
+
+// TestInvalidateSourceDifferential replays a mixed invalidate/materialize
+// sequence against a delta-maintained mediator and a twin that only ever
+// invalidates globally, asserting bit-identical answers at every step —
+// the property the per-part cache must never break.
+func TestInvalidateSourceDifferential(t *testing.T) {
+	ctx := context.Background()
+	m, _ := newDeltaMediator(t, 4, "all")
+	twin, _ := newDeltaMediator(t, 4, "all")
+
+	steps := []string{"", "s2", "s0", "", "s3", "s3", "s1", ""}
+	for i, src := range steps {
+		if src != "" {
+			if _, err := m.InvalidateSource(src); err != nil {
+				t.Fatal(err)
+			}
+		}
+		twin.Invalidate()
+		got, err := m.Materialize(ctx, "all")
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := twin.Materialize(ctx, "all")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Root.Equal(want.Root) {
+			t.Fatalf("step %d (invalidate %q): delta answer differs from full rematerialization:\n%s\nvs\n%s",
+				i, src, xmlmodel.MarshalElement(got.Root, 1), xmlmodel.MarshalElement(want.Root, 1))
+		}
+	}
+}
+
+func TestInvalidateSourceUnknown(t *testing.T) {
+	m, _ := newDeltaMediator(t, 2, "all")
+	_, err := m.InvalidateSource("nosuch")
+	if !errors.Is(err, ErrUnknownSource) {
+		t.Fatalf("err = %v, want ErrUnknownSource", err)
+	}
+}
+
+// TestInvalidateSourceTransitive stacks a view over another view of the
+// same mediator (AsSource) and checks the dependency closure: invalidating
+// the base source marks both views stale, and the stacked view's next
+// materialization re-fetches through to the base.
+func TestInvalidateSourceTransitive(t *testing.T) {
+	ctx := context.Background()
+	m, faults := newDeltaMediator(t, 2, "lower")
+	w, err := m.AsSource("lower")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddSource(w); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.DefineUnionView("upper", []ViewPart{{
+		Source: w.Name(),
+		Query:  xmas.MustParse(`u = SELECT X WHERE <lower> X:<professor/> </lower>`),
+	}}); err != nil {
+		t.Fatal(err)
+	}
+
+	before, err := m.Materialize(ctx, "upper")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := fetchCounts(faults)
+
+	views, err := m.InvalidateSource("s0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(views) != 2 || views[0] != "lower" || views[1] != "upper" {
+		t.Fatalf("affected views = %v, want [lower upper]", views)
+	}
+	after, err := m.Materialize(ctx, "upper")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := fetchCounts(faults)
+	if got[0] != base[0]+1 {
+		t.Errorf("s0 fetches %d -> %d, want one re-fetch", base[0], got[0])
+	}
+	if got[1] != base[1] {
+		t.Errorf("s1 fetches %d -> %d, want unchanged (its part is cached)", base[1], got[1])
+	}
+	if !before.Root.Equal(after.Root) {
+		t.Error("stacked answer changed across a content-preserving invalidation")
+	}
+}
+
+// TestPartCacheSharedAcrossMasks checks the mask-free part-cache key: a
+// masked (pruned) materialization that evaluated part 0 leaves a part
+// result the full materialization reuses without re-fetching.
+func TestPartCacheSharedAcrossMasks(t *testing.T) {
+	ctx := context.Background()
+	m, faults := newDeltaMediator(t, 2, "all")
+
+	if _, _, err := m.materializeMasked(ctx, "all", []bool{true, false}); err != nil {
+		t.Fatal(err)
+	}
+	if got := fetchCounts(faults); got[0] != 1 || got[1] != 0 {
+		t.Fatalf("masked fetches = %v, want [1 0]", got)
+	}
+	if _, err := m.Materialize(ctx, "all"); err != nil {
+		t.Fatal(err)
+	}
+	if got := fetchCounts(faults); got[0] != 1 || got[1] != 1 {
+		t.Fatalf("fetches after full materialization = %v, want [1 1] (part 0 reused)", got)
+	}
+}
+
+// TestInvalidateSourceDropsMaskedMaterializations: every cached mask of an
+// affected view is dropped, not just the bare-name entry.
+func TestInvalidateSourceDropsMaskedMaterializations(t *testing.T) {
+	ctx := context.Background()
+	m, _ := newDeltaMediator(t, 2, "all")
+	if _, _, err := m.materializeMasked(ctx, "all", []bool{true, false}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Materialize(ctx, "all"); err != nil {
+		t.Fatal(err)
+	}
+	m.mu.Lock()
+	cached := len(m.matCache)
+	m.mu.Unlock()
+	if cached != 2 {
+		t.Fatalf("matCache entries = %d, want 2 (full + one mask)", cached)
+	}
+	if _, err := m.InvalidateSource("s0"); err != nil {
+		t.Fatal(err)
+	}
+	m.mu.Lock()
+	cached = len(m.matCache)
+	m.mu.Unlock()
+	if cached != 0 {
+		t.Fatalf("matCache entries after InvalidateSource = %d, want 0", cached)
+	}
+}
+
+// TestInvalidateSourceLeavesOtherViewsCached: a view with no part over the
+// invalidated source keeps its materialization.
+func TestInvalidateSourceLeavesOtherViewsCached(t *testing.T) {
+	ctx := context.Background()
+	m, faults := newDeltaMediator(t, 2, "all")
+	if _, err := m.DefineUnionView("only0", []ViewPart{{
+		Source: "s0",
+		Query:  xmas.MustParse(`v = SELECT X WHERE <department> X:<professor/> </department>`),
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Materialize(ctx, "only0"); err != nil {
+		t.Fatal(err)
+	}
+	views, err := m.InvalidateSource("s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range views {
+		if v == "only0" {
+			t.Fatalf("only0 does not depend on s1 but was invalidated (affected = %v)", views)
+		}
+	}
+	base := faults[0].Fetches()
+	if _, err := m.Materialize(ctx, "only0"); err != nil {
+		t.Fatal(err)
+	}
+	if got := faults[0].Fetches(); got != base {
+		t.Errorf("only0 rematerialization fetched s0 (%d -> %d); its cache should have survived", base, got)
+	}
+}
+
+// BenchmarkInvalidateMixCold is the pre-delta refresh story — a global
+// invalidate before every materialization, so every source re-fetches.
+// BenchmarkInvalidateMixWarm invalidates one rotating source per cycle,
+// the traffic InvalidateSource is built for. benchjson pairs them in
+// BENCH_stream.json (make bench-stream).
+func BenchmarkInvalidateMixCold(b *testing.B) {
+	ctx := context.Background()
+	m, _ := newDeltaMediator(b, 8, "all")
+	if _, err := m.Materialize(ctx, "all"); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Invalidate()
+		if _, err := m.Materialize(ctx, "all"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInvalidateMixWarm(b *testing.B) {
+	ctx := context.Background()
+	m, _ := newDeltaMediator(b, 8, "all")
+	if _, err := m.Materialize(ctx, "all"); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.InvalidateSource(fmt.Sprintf("s%d", i%8)); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.Materialize(ctx, "all"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -10,6 +10,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"repro/internal/dtd"
 )
 
 const remoteDTD = `<!DOCTYPE members [
@@ -262,5 +264,54 @@ func TestHTTPSourceBackoffCapAndJitter(t *testing.T) {
 	}
 	if got := src.Retries(); got != 5 {
 		t.Errorf("retries = %d, want 5", got)
+	}
+}
+
+// TestHTTPSourceStreamValidatesBody: the fetch path validates the remote
+// body with the streaming validator before any tree is built, so a
+// DTD-violating payload and a malformed one fail with distinct errors
+// (and a violating one is rejected without retries — the remote would
+// answer the same way again).
+func TestHTTPSourceStreamValidatesBody(t *testing.T) {
+	cases := []struct {
+		name, body, want string
+	}{
+		{"violates DTD", remoteDTD + "\n<members><student>bo</student></members>", "violates its own DTD"},
+		{"malformed", remoteDTD + "\n<members><professor>ana</members>", "unparseable"},
+	}
+	for _, c := range cases {
+		var calls atomic.Int64
+		srv := remoteView(func(w http.ResponseWriter, r *http.Request) {
+			calls.Add(1)
+			fmt.Fprintln(w, c.body)
+		})
+		src, err := NewHTTPSource(nil, srv.URL, "v", WithRetries(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = src.Fetch(context.Background())
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want mention of %q", c.name, err, c.want)
+		}
+		if got := calls.Load(); got != 1 {
+			t.Errorf("%s: %d requests, want 1 (invalid content must not be retried)", c.name, got)
+		}
+		srv.Close()
+	}
+	before := dtd.StreamValidationStats()
+	srv := remoteView(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, remoteDTD)
+		fmt.Fprintln(w, remoteDoc)
+	})
+	defer srv.Close()
+	src, err := NewHTTPSource(nil, srv.URL, "v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.Fetch(context.Background()); err != nil {
+		t.Fatalf("valid remote document rejected: %v", err)
+	}
+	if after := dtd.StreamValidationStats(); after.Documents <= before.Documents {
+		t.Error("fetch did not go through the streaming validator")
 	}
 }

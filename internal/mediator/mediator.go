@@ -188,11 +188,28 @@ type MaterializeInfo struct {
 // and read doc/info/err, which are written exactly once before done is
 // closed.
 type inflightCall struct {
-	gen  uint64 // cache generation when the evaluation started
+	gen  uint64 // the view's generation when the evaluation started
 	done chan struct{}
 	doc  *xmlmodel.Document
 	info *MaterializeInfo
 	err  error
+}
+
+// partCacheKey identifies one view part's cached result. It is mask-free
+// on purpose: a pruned materialization and the full one share the same
+// per-part results, so computing either warms the other.
+type partCacheKey struct {
+	view string
+	part int
+}
+
+// partEntry is one view part's cached evaluation result, valid exactly
+// while its source's generation still equals gen. The children slice is
+// immutable after insertion (evaluate concatenates into a fresh root).
+type partEntry struct {
+	gen      uint64
+	source   string
+	children []*xmlmodel.Element
 }
 
 // Mediator hosts wrappers and views.
@@ -204,10 +221,24 @@ type Mediator struct {
 	views    map[string]*View
 	matCache map[string]*xmlmodel.Document
 	inflight map[string]*inflightCall
-	// gen counts Invalidate calls. A materialization started under an
-	// older generation must not populate matCache: its result may predate
-	// the source change the invalidation announced.
-	gen uint64
+	// viewGen and srcGen are the delta-maintenance generations. srcGen[s]
+	// counts invalidations of source s; a part result cached under an older
+	// source generation is stale. viewGen[v] counts invalidations touching
+	// view v; a materialization started under an older view generation must
+	// not populate matCache — its result may predate the source change the
+	// invalidation announced. Invalidate bumps everything; InvalidateSource
+	// bumps one source and the views that transitively depend on it.
+	viewGen map[string]uint64
+	srcGen  map[string]uint64
+	// partCache holds per-part evaluation results so an invalidation of one
+	// source recomputes only the parts over that source; every other part
+	// of the affected views is served from here (see evaluate).
+	partCache map[partCacheKey]partEntry
+	// deps is the static view→source dependency index, inverted: for each
+	// source name, the set of views with at least one part over it. Built
+	// at view-definition time; InvalidateSource walks it (transitively,
+	// through views re-exported as sources via AsSource).
+	deps map[string]map[string]bool
 	// inferLimits bounds the view DTD inference run at view-definition time
 	// (zero value: unlimited). See SetInferenceBudget.
 	inferLimits budget.Limits
@@ -221,11 +252,15 @@ type Mediator struct {
 // New creates an empty mediator.
 func New(name string) *Mediator {
 	return &Mediator{
-		name:     name,
-		wrappers: map[string]Wrapper{},
-		views:    map[string]*View{},
-		matCache: map[string]*xmlmodel.Document{},
-		inflight: map[string]*inflightCall{},
+		name:      name,
+		wrappers:  map[string]Wrapper{},
+		views:     map[string]*View{},
+		matCache:  map[string]*xmlmodel.Document{},
+		inflight:  map[string]*inflightCall{},
+		viewGen:   map[string]uint64{},
+		srcGen:    map[string]uint64{},
+		partCache: map[partCacheKey]partEntry{},
+		deps:      map[string]map[string]bool{},
 	}
 }
 
@@ -367,6 +402,12 @@ func (m *Mediator) DefineUnionView(name string, parts []ViewPart) (*View, error)
 		v.DegradedReason = ex.Error()
 	}
 	m.views[name] = v
+	for _, p := range v.Parts {
+		if m.deps[p.Source] == nil {
+			m.deps[p.Source] = map[string]bool{}
+		}
+		m.deps[p.Source][name] = true
+	}
 	if v.Degraded {
 		m.stats.add(&m.stats.degradedViews, 1)
 		m.stats.add(&m.stats.budgetExhaustions, 1)
@@ -472,7 +513,7 @@ func (m *Mediator) materializeMasked(ctx context.Context, viewName string, keep 
 	for i, p := range v.Parts {
 		wrappers[i] = m.wrappers[p.Source]
 	}
-	call := &inflightCall{gen: m.gen, done: make(chan struct{})}
+	call := &inflightCall{gen: m.viewGen[viewName], done: make(chan struct{})}
 	m.inflight[key] = call
 	m.mu.Unlock()
 
@@ -506,7 +547,7 @@ func (m *Mediator) materializeMasked(ctx context.Context, viewName string, keep 
 	if m.inflight[key] == call {
 		delete(m.inflight, key)
 	}
-	if err == nil && !info.Degraded && call.gen == m.gen {
+	if err == nil && !info.Degraded && call.gen == m.viewGen[viewName] {
 		m.matCache[key] = doc
 	} else if err == nil && !info.Degraded {
 		stale = true
@@ -552,9 +593,34 @@ func prunedSources(v *View, keep []bool) []string {
 // siblings complete: a dead source degrades the view, it does not take it
 // down. Parts masked out by keep (nil keeps all) are never fetched at
 // all — no goroutine, no breaker interaction, no retry.
+//
+// Delta maintenance happens here: a part whose cached result is still
+// current (partCache entry at the source's present generation) is reused
+// without touching the source; only stale or uncached parts fetch and
+// evaluate, and their fresh results are written back under a per-part
+// generation guard so a concurrent InvalidateSource can never be
+// overwritten by a result that predates it.
 func (m *Mediator) evaluate(ctx context.Context, v *View, wrappers []Wrapper, keep []bool) (*xmlmodel.Document, *MaterializeInfo, error) {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
+	type partPlan struct {
+		reuse    bool
+		children []*xmlmodel.Element
+		startGen uint64
+	}
+	plans := make([]partPlan, len(v.Parts))
+	m.mu.Lock()
+	for i, p := range v.Parts {
+		if keep != nil && !keep[i] {
+			continue
+		}
+		if ent, ok := m.partCache[partCacheKey{view: v.Name, part: i}]; ok && ent.gen == m.srcGen[p.Source] {
+			plans[i] = partPlan{reuse: true, children: ent.children}
+			continue
+		}
+		plans[i].startGen = m.srcGen[p.Source]
+	}
+	m.mu.Unlock()
 	type partResult struct {
 		children []*xmlmodel.Element
 		err      error
@@ -564,6 +630,10 @@ func (m *Mediator) evaluate(ctx context.Context, v *View, wrappers []Wrapper, ke
 	var wg sync.WaitGroup
 	for i := range v.Parts {
 		if keep != nil && !keep[i] {
+			continue
+		}
+		if plans[i].reuse {
+			results[i].children = plans[i].children
 			continue
 		}
 		wg.Add(1)
@@ -598,6 +668,15 @@ func (m *Mediator) evaluate(ctx context.Context, v *View, wrappers []Wrapper, ke
 				return
 			}
 			results[i].children = part.Root.Children
+			// Per-part stale write-back guard: cache only results whose
+			// source generation is unchanged since the fetch started.
+			m.mu.Lock()
+			if m.srcGen[p.Source] == plans[i].startGen {
+				m.partCache[partCacheKey{view: v.Name, part: i}] = partEntry{
+					gen: plans[i].startGen, source: p.Source, children: part.Root.Children,
+				}
+			}
+			m.mu.Unlock()
 		}(i)
 	}
 	wg.Wait()
@@ -622,6 +701,7 @@ func (m *Mediator) evaluate(ctx context.Context, v *View, wrappers []Wrapper, ke
 	}
 	info := &MaterializeInfo{PrunedSources: prunedSources(v, keep)}
 	root := &xmlmodel.Element{Name: v.Name}
+	var reused, recomputed []string
 	for i, r := range results {
 		if keep != nil && !keep[i] {
 			continue
@@ -631,19 +711,37 @@ func (m *Mediator) evaluate(ctx context.Context, v *View, wrappers []Wrapper, ke
 			info.DegradedSources = append(info.DegradedSources, v.Parts[i].Source)
 			continue
 		}
+		if plans[i].reuse {
+			reused = append(reused, v.Parts[i].Source)
+		} else {
+			recomputed = append(recomputed, v.Parts[i].Source)
+		}
 		root.Children = append(root.Children, r.children...)
 	}
 	sort.Strings(info.DegradedSources)
+	m.stats.add(&m.stats.partsReused, int64(len(reused)))
+	m.stats.add(&m.stats.partsRecomputed, int64(len(recomputed)))
+	obs.AddEvent(ctx, "materialize.delta",
+		obs.String("reused", strings.Join(reused, ",")),
+		obs.String("recomputed", strings.Join(recomputed, ",")))
 	return &xmlmodel.Document{DocType: v.Name, Root: root}, info, nil
 }
 
-// Invalidate drops the materialization cache (e.g. after a source change).
-// In-flight evaluations are detached: they still answer the callers
-// already waiting on them, but their results are not cached.
+// Invalidate drops the materialization and part caches entirely (a change
+// of unknown extent). In-flight evaluations are detached: they still
+// answer the callers already waiting on them, but their results are not
+// cached. For a change scoped to one source, InvalidateSource (delta.go)
+// recomputes only the dependent view parts instead.
 func (m *Mediator) Invalidate() {
 	m.mu.Lock()
-	m.gen++
+	for s := range m.wrappers {
+		m.srcGen[s]++
+	}
+	for vn := range m.views {
+		m.viewGen[vn]++
+	}
 	m.matCache = map[string]*xmlmodel.Document{}
+	m.partCache = map[partCacheKey]partEntry{}
 	m.inflight = map[string]*inflightCall{}
 	m.mu.Unlock()
 	m.stats.add(&m.stats.invalidations, 1)

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/automata"
 	"repro/internal/automata/cache"
+	"repro/internal/dtd"
 	"repro/internal/infer"
 	"repro/internal/obs"
 )
@@ -44,6 +45,17 @@ type Stats struct {
 	SingleflightDedups int64 `json:"singleflight_dedups"`
 	StaleDiscards      int64 `json:"stale_discards"`
 	Invalidations      int64 `json:"invalidations"`
+	// SourceInvalidations counts InvalidateSource calls (scoped, delta-
+	// maintained invalidations, as opposed to the global Invalidations).
+	SourceInvalidations int64 `json:"source_invalidations"`
+
+	// PartsRecomputed / PartsReused count view parts evaluated against
+	// their source vs. served from the per-part delta cache during
+	// materializations. Their ratio is the figure of merit of delta
+	// maintenance: under invalidate-source traffic most parts should be
+	// reused, not refetched.
+	PartsRecomputed int64 `json:"parts_recomputed"`
+	PartsReused     int64 `json:"parts_reused"`
 
 	// Simplifier totals across all queries (Section 4.2's side effects).
 	SimplifierPruned  int64 `json:"simplifier_pruned"`
@@ -82,6 +94,11 @@ type Stats struct {
 	// recomputation, since Unknown is deliberately never cached.
 	PruneVerdictCache cache.Stats `json:"prune_verdict_cache"`
 
+	// StreamValidation snapshots the process-wide streaming-validation
+	// counters (dtd.StreamValidationStats): documents, scanner events and
+	// input bytes validated without tree construction.
+	StreamValidation dtd.StreamStats `json:"stream_validation"`
+
 	// AutomataCache snapshots the process-wide compiled-automata cache
 	// (internal/automata/cache) that backs every content-model compilation
 	// and language decision: DFA compilations for validation, containment
@@ -100,6 +117,7 @@ type statsCounters struct {
 	mu sync.Mutex
 
 	cacheHits, cacheMisses, dedups, staleDiscards, invalidations int64
+	sourceInvalidations, partsRecomputed, partsReused            int64
 	simplifierPruned, simplifierDropped, simplifierSkips         int64
 	simplifierErrors                                             int64
 	degradedViews, budgetExhaustions, degradedMaterializations   int64
@@ -186,6 +204,9 @@ func (m *Mediator) Stats() Stats {
 		SingleflightDedups:       s.dedups,
 		StaleDiscards:            s.staleDiscards,
 		Invalidations:            s.invalidations,
+		SourceInvalidations:      s.sourceInvalidations,
+		PartsRecomputed:          s.partsRecomputed,
+		PartsReused:              s.partsReused,
 		SimplifierPruned:         s.simplifierPruned,
 		SimplifierDropped:        s.simplifierDropped,
 		SimplifierSkips:          s.simplifierSkips,
@@ -194,6 +215,7 @@ func (m *Mediator) Stats() Stats {
 		BudgetExhaustions:        s.budgetExhaustions,
 		DegradedMaterializations: s.degradedMaterializations,
 		PartsPruned:              s.partsPruned,
+		StreamValidation:         dtd.StreamValidationStats(),
 		AutomataCache:            automata.CacheStats(),
 		PruneVerdictCache:        infer.SatisfiabilityCacheStats(),
 		Views:                    make(map[string]ViewStats, len(s.views)),

@@ -1,0 +1,122 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func postBody(t *testing.T, url, body string) (int, string) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var b strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		b.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	return resp.StatusCode, b.String()
+}
+
+func TestInvalidateEmptyBodyIsGlobal(t *testing.T) {
+	srv, m := newServerAndMediator(t)
+	code, body := postBody(t, srv.URL+"/invalidate", "")
+	if code != http.StatusNoContent {
+		t.Fatalf("empty body: %d %s, want 204", code, body)
+	}
+	if st := m.Stats(); st.Invalidations != 1 || st.SourceInvalidations != 0 {
+		t.Errorf("Invalidations=%d SourceInvalidations=%d, want 1/0", st.Invalidations, st.SourceInvalidations)
+	}
+}
+
+func TestInvalidateSourceEndpoint(t *testing.T) {
+	srv, m := newServerAndMediator(t)
+	code, body := postBody(t, srv.URL+"/invalidate", `{"source": "cs-dept"}`)
+	if code != http.StatusOK {
+		t.Fatalf("scoped invalidate: %d %s, want 200", code, body)
+	}
+	var got struct {
+		Source           string   `json:"source"`
+		InvalidatedViews []string `json:"invalidated_views"`
+	}
+	if err := json.Unmarshal([]byte(body), &got); err != nil {
+		t.Fatalf("unparseable response %q: %v", body, err)
+	}
+	if got.Source != "cs-dept" {
+		t.Errorf("source = %q", got.Source)
+	}
+	if len(got.InvalidatedViews) != 1 || got.InvalidatedViews[0] != "members" {
+		t.Errorf("invalidated_views = %v, want [members]", got.InvalidatedViews)
+	}
+	if st := m.Stats(); st.SourceInvalidations != 1 || st.Invalidations != 0 {
+		t.Errorf("SourceInvalidations=%d Invalidations=%d, want 1/0", st.SourceInvalidations, st.Invalidations)
+	}
+}
+
+func TestInvalidateBadBodies(t *testing.T) {
+	srv := newServer(t)
+	cases := []struct {
+		body string
+		want int
+	}{
+		{`{not json`, http.StatusBadRequest},
+		{`{"source": ""}`, http.StatusBadRequest},
+		{`{"other": "x"}`, http.StatusBadRequest},
+		{`{"source": "nosuch"}`, http.StatusNotFound},
+	}
+	for _, c := range cases {
+		code, body := postBody(t, srv.URL+"/invalidate", c.body)
+		if code != c.want {
+			t.Errorf("body %q: %d %s, want %d", c.body, code, body, c.want)
+		}
+	}
+}
+
+// TestMetricsCarryDeltaCounters: the scoped invalidation and the delta
+// materialization counters reach both exposition formats.
+func TestMetricsCarryDeltaCounters(t *testing.T) {
+	srv, _ := newServerAndMediator(t)
+	if code, body := postBody(t, srv.URL+"/invalidate", `{"source": "cs-dept"}`); code != 200 {
+		t.Fatalf("invalidate: %d %s", code, body)
+	}
+	code, body, _ := get(t, srv.URL+"/metrics")
+	if code != 200 {
+		t.Fatalf("metrics: %d", code)
+	}
+	var js map[string]any
+	if err := json.Unmarshal([]byte(body), &js); err != nil {
+		t.Fatalf("metrics JSON: %v", err)
+	}
+	for _, key := range []string{"source_invalidations", "parts_recomputed", "parts_reused", "stream_validation"} {
+		if _, ok := js[key]; !ok {
+			t.Errorf("metrics JSON lacks %q", key)
+		}
+	}
+	if js["source_invalidations"].(float64) != 1 {
+		t.Errorf("source_invalidations = %v, want 1", js["source_invalidations"])
+	}
+	code, body, _ = get(t, srv.URL+"/metrics?format=prometheus")
+	if code != 200 {
+		t.Fatalf("prometheus metrics: %d", code)
+	}
+	for _, name := range []string{
+		"mix_source_invalidations_total 1",
+		"mix_parts_recomputed_total",
+		"mix_parts_reused_total",
+		"mix_stream_validated_documents_total",
+		"mix_stream_validated_events_total",
+		"mix_stream_validated_bytes_total",
+	} {
+		if !strings.Contains(body, name) {
+			t.Errorf("prometheus exposition lacks %q", name)
+		}
+	}
+}

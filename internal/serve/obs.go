@@ -178,6 +178,9 @@ func (h *Handler) writePrometheus(w http.ResponseWriter) {
 	mw.Counter("mix_singleflight_dedups_total", "Materialize calls that joined an in-flight evaluation.", float64(st.SingleflightDedups))
 	mw.Counter("mix_stale_discards_total", "Evaluations discarded because the view was invalidated mid-flight.", float64(st.StaleDiscards))
 	mw.Counter("mix_invalidations_total", "View cache invalidations.", float64(st.Invalidations))
+	mw.Counter("mix_source_invalidations_total", "Per-source (delta) cache invalidations.", float64(st.SourceInvalidations))
+	mw.Counter("mix_parts_recomputed_total", "View parts evaluated against their source during materializations.", float64(st.PartsRecomputed))
+	mw.Counter("mix_parts_reused_total", "View parts served from the per-part delta cache during materializations.", float64(st.PartsReused))
 	mw.Counter("mix_simplifier_pruned_total", "Query conditions pruned by the DTD-based simplifier.", float64(st.SimplifierPruned))
 	mw.Counter("mix_simplifier_dropped_total", "Names dropped by the DTD-based simplifier.", float64(st.SimplifierDropped))
 	mw.Counter("mix_simplifier_skips_total", "Queries answered as unsatisfiable without touching data.", float64(st.SimplifierSkips))
@@ -195,6 +198,11 @@ func (h *Handler) writePrometheus(w http.ResponseWriter) {
 	mw.Counter("mix_automata_cache_dedups_total", "Compiled-automata cache singleflight joins.", float64(ac.Dedups))
 	mw.Counter("mix_automata_cache_evictions_total", "Compiled-automata cache evictions.", float64(ac.Evictions))
 	mw.Gauge("mix_automata_cache_size", "Entries currently in the compiled-automata cache.", float64(ac.Size))
+
+	sv := st.StreamValidation
+	mw.Counter("mix_stream_validated_documents_total", "Documents validated by the streaming (tree-free) validator.", float64(sv.Documents))
+	mw.Counter("mix_stream_validated_events_total", "Scanner events consumed by the streaming validator.", float64(sv.Events))
+	mw.Counter("mix_stream_validated_bytes_total", "Input bytes covered by the streaming validator.", float64(sv.Bytes))
 
 	pc := st.PruneVerdictCache
 	mw.Counter("mix_parts_pruned_total", "View parts skipped by query-time satisfiability pruning (sources never fetched).", float64(st.PartsPruned))

@@ -16,7 +16,9 @@
 //	GET  /debug/trace               ring buffer of recent request traces
 //	POST /infer                     body: DOCTYPE + XMAS query; response:
 //	                                inferred s-DTD, plain DTD, classification
-//	POST /invalidate                flush the materialization cache
+//	POST /invalidate                flush the materialization cache; with
+//	                                a {"source": name} JSON body, delta-
+//	                                invalidate just that source's views
 //
 // Queries posted to a view are answered through the mediator's
 // DTD-simplifying path; the X-Mix-Skipped/X-Mix-Pruned response headers
@@ -114,12 +116,45 @@ func New(m *mediator.Mediator, opts ...Option) *Handler {
 	return h
 }
 
-// postInvalidate flushes the materialization cache: the next request per
-// view re-fetches every source. This is the refresh signal an operator
-// (or the load harness's invalidate ops) sends after sources change.
+// postInvalidate is the refresh signal an operator (or the load harness's
+// invalidate ops) sends after sources change. An empty body keeps the
+// historical behaviour — flush everything, 204 — while a {"source": name}
+// JSON body announces a change scoped to one source: only the views
+// transitively depending on it recompute (and of those, only the parts
+// over that source; see Mediator.InvalidateSource), and the response names
+// the affected views. An unknown source is a 404.
 func (h *Handler) postInvalidate(w http.ResponseWriter, r *http.Request) {
-	h.m.Invalidate()
-	w.WriteHeader(http.StatusNoContent)
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if strings.TrimSpace(string(body)) == "" {
+		h.m.Invalidate()
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	var req struct {
+		Source string `json:"source"`
+	}
+	if err := json.Unmarshal(body, &req); err != nil {
+		http.Error(w, fmt.Sprintf("invalid invalidate body: %v", err), http.StatusBadRequest)
+		return
+	}
+	if req.Source == "" {
+		http.Error(w, `invalidate body must name a "source"`, http.StatusBadRequest)
+		return
+	}
+	views, err := h.m.InvalidateSource(req.Source)
+	if err != nil {
+		http.Error(w, err.Error(), statusFor(err))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	_ = json.NewEncoder(w).Encode(struct {
+		Source           string   `json:"source"`
+		InvalidatedViews []string `json:"invalidated_views"`
+	}{Source: req.Source, InvalidatedViews: views})
 }
 
 // Tracer returns the handler's request tracer (the /debug/trace source).

@@ -1,6 +1,7 @@
 package xmlmodel
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
@@ -338,6 +339,39 @@ func (p *parser) readText() (string, error) {
 	return unescape(p.src[start:p.pos])
 }
 
+var errUnterminatedEntity = errors.New("unterminated entity reference")
+
+// entityRune decodes one entity body (the text between '&' and ';') to its
+// rune. Error messages carry no package prefix so both the tree parser and
+// the scanner can wrap them in their own error shapes.
+func entityRune(ent string) (rune, error) {
+	switch {
+	case ent == "lt":
+		return '<', nil
+	case ent == "gt":
+		return '>', nil
+	case ent == "amp":
+		return '&', nil
+	case ent == "quot":
+		return '"', nil
+	case ent == "apos":
+		return '\'', nil
+	case strings.HasPrefix(ent, "#x") || strings.HasPrefix(ent, "#X"):
+		n, err := strconv.ParseInt(ent[2:], 16, 32)
+		if err != nil {
+			return 0, fmt.Errorf("bad character reference &%s;", ent)
+		}
+		return rune(n), nil
+	case strings.HasPrefix(ent, "#"):
+		n, err := strconv.ParseInt(ent[1:], 10, 32)
+		if err != nil {
+			return 0, fmt.Errorf("bad character reference &%s;", ent)
+		}
+		return rune(n), nil
+	}
+	return 0, fmt.Errorf("unknown entity &%s; (entities are outside the model, Section 2)", ent)
+}
+
 func unescape(s string) (string, error) {
 	if !strings.Contains(s, "&") {
 		return s, nil
@@ -353,33 +387,11 @@ func unescape(s string) (string, error) {
 		if semi < 0 {
 			return "", fmt.Errorf("xmlmodel: unterminated entity reference in %q", s)
 		}
-		ent := s[i+1 : i+semi]
-		switch {
-		case ent == "lt":
-			b.WriteByte('<')
-		case ent == "gt":
-			b.WriteByte('>')
-		case ent == "amp":
-			b.WriteByte('&')
-		case ent == "quot":
-			b.WriteByte('"')
-		case ent == "apos":
-			b.WriteByte('\'')
-		case strings.HasPrefix(ent, "#x") || strings.HasPrefix(ent, "#X"):
-			n, err := strconv.ParseInt(ent[2:], 16, 32)
-			if err != nil {
-				return "", fmt.Errorf("xmlmodel: bad character reference &%s;", ent)
-			}
-			b.WriteRune(rune(n))
-		case strings.HasPrefix(ent, "#"):
-			n, err := strconv.ParseInt(ent[1:], 10, 32)
-			if err != nil {
-				return "", fmt.Errorf("xmlmodel: bad character reference &%s;", ent)
-			}
-			b.WriteRune(rune(n))
-		default:
-			return "", fmt.Errorf("xmlmodel: unknown entity &%s; (entities are outside the model, Section 2)", ent)
+		r, err := entityRune(s[i+1 : i+semi])
+		if err != nil {
+			return "", fmt.Errorf("xmlmodel: %v", err)
 		}
+		b.WriteRune(r)
 		i += semi + 1
 	}
 	return b.String(), nil

@@ -1,0 +1,147 @@
+package xmlmodel
+
+import (
+	"strings"
+	"testing"
+)
+
+// drain runs the scanner to EOF (or error) and returns the events seen.
+func drain(t *testing.T, input string) ([]Event, error) {
+	t.Helper()
+	sc := NewScanner(input)
+	var evs []Event
+	for {
+		ev, err := sc.Next()
+		if err != nil {
+			return evs, err
+		}
+		if ev.Kind == EventEOF {
+			return evs, nil
+		}
+		evs = append(evs, ev)
+	}
+}
+
+func TestScannerEventStream(t *testing.T) {
+	input := `<?xml version="1.0"?>
+<!DOCTYPE dept [ <!ELEMENT dept (name)> ]>
+<dept id="d1">
+  <!-- comment -->
+  <name>CS</name>
+  <empty/>
+</dept>`
+	sc := NewScanner(input)
+	want := []Event{
+		{Kind: EventStart, Name: "dept", ID: "d1"},
+		{Kind: EventStart, Name: "name"},
+		{Kind: EventText, Name: "name", Text: "CS"},
+		{Kind: EventEnd, Name: "name"},
+		{Kind: EventStart, Name: "empty"},
+		{Kind: EventEnd, Name: "empty"},
+		{Kind: EventEnd, Name: "dept"},
+	}
+	for i, w := range want {
+		ev, err := sc.Next()
+		if err != nil {
+			t.Fatalf("event %d: %v", i, err)
+		}
+		if ev != w {
+			t.Errorf("event %d = %+v, want %+v", i, ev, w)
+		}
+	}
+	if sc.Doctype() == nil || sc.Doctype().Root != "dept" {
+		t.Errorf("Doctype = %+v, want root dept", sc.Doctype())
+	}
+	// EOF is sticky.
+	for i := 0; i < 3; i++ {
+		ev, err := sc.Next()
+		if err != nil || ev.Kind != EventEOF {
+			t.Fatalf("post-EOF Next = %+v, %v", ev, err)
+		}
+	}
+}
+
+func TestScannerAgreesWithParse(t *testing.T) {
+	// Accept/reject parity with the tree parser over the tricky shapes:
+	// mixed content in both orders, mismatched and anonymous end tags,
+	// entity-only whitespace, foreign attributes, trailing junk.
+	cases := []string{
+		`<a><b>x</b></a>`,
+		`<a/>`,
+		`<a>x<b/></a>`,        // text then child: mixed
+		`<a><b/>x</a>`,        // child then text: mixed
+		`<a>  <b/>  </a>`,     // ignorable whitespace only
+		`<a>&#32;<b/></a>`,    // entity-only whitespace is still ignorable
+		`<a>&#65;<b/></a>`,    // entity resolves to non-space: mixed
+		`<a><b></a>`,          // mismatched end tag
+		`<a><b>x</></a>`,      // anonymous end tag
+		`<a></a><b/>`,         // trailing content
+		`<a foo="1" id="i"/>`, // foreign attributes ignored
+		`<a>&bogus;</a>`,      // unknown entity
+		`<a>&#x110000;</a>`,   // bad character reference
+		`<a>x`,                // unterminated element
+		`<a><!-- no end`,      // unterminated comment
+		`<a b='q'><c/></a>`,   // single-quoted attribute
+		`<root> <x/> <x/> </root>`,
+	}
+	for _, src := range cases {
+		_, _, perr := Parse(src)
+		_, serr := drain(t, src)
+		if (perr == nil) != (serr == nil) {
+			t.Errorf("%q: Parse err=%v, Scanner err=%v", src, perr, serr)
+		}
+	}
+}
+
+func TestScannerDepthGuard(t *testing.T) {
+	deep := strings.Repeat("<a>", maxParseDepth+1) + strings.Repeat("</a>", maxParseDepth+1)
+	_, err := drain(t, deep)
+	if err == nil || !strings.Contains(err.Error(), "nesting exceeds") {
+		t.Fatalf("deep document: err = %v, want nesting guard", err)
+	}
+	// The tree parser must reject it identically.
+	if _, _, perr := Parse(deep); perr == nil {
+		t.Fatal("Parse accepted a document beyond the depth guard")
+	}
+	ok := strings.Repeat("<a>", 100) + "x" + strings.Repeat("</a>", 100)
+	if _, err := drain(t, ok); err != nil {
+		t.Fatalf("100-deep document: %v", err)
+	}
+}
+
+func TestScannerErrorIsSticky(t *testing.T) {
+	sc := NewScanner(`<a><b>x</wrong></a>`)
+	var first error
+	for i := 0; i < 5; i++ {
+		_, err := sc.Next()
+		if err != nil {
+			first = err
+			break
+		}
+	}
+	if first == nil {
+		t.Fatal("no error from a mismatched end tag")
+	}
+	if _, err := sc.Next(); err != first {
+		t.Fatalf("second error %v is not the first %v", err, first)
+	}
+}
+
+func TestScannerZeroCopy(t *testing.T) {
+	// Steady-state scanning must not allocate: events slice the input.
+	input := "<r>" + strings.Repeat("<e>text</e>", 200) + "</r>"
+	sc := NewScanner(input)
+	if _, err := sc.Next(); err != nil { // open <r>
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		for i := 0; i < 6; i++ { // two <e>text</e> groups
+			if _, err := sc.Next(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("steady-state Next allocates %.1f per 6 events, want 0", allocs)
+	}
+}
