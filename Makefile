@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test vet lint race fault fuzz check bench bench-compare bench-prune bench-stream bench-serve load-smoke experiments cover clean fmt ci
+.PHONY: all build test vet lint race fault fuzz check bench bench-compare bench-prune bench-stream bench-serve load-smoke chaos experiments cover clean fmt ci
 
 all: build vet test
 
@@ -99,6 +99,15 @@ bench-serve:
 load-smoke:
 	go run ./cmd/mixload -seed 1 -rps 120 -duration 10s -prune-compare -quiet
 
+# Replica chaos campaign (cmd/mixload -chaos): a replicated 3×3 fleet
+# driven through baseline → flapping-replica → total-blackout → recovery
+# phases, asserted against the failover SLOs (flap: zero errors, p99 ≤ 2×
+# baseline; blackout: stale-served, DTD-valid answers under the retry
+# budget's upstream ceiling; recovery: fresh answers again) and archived
+# as CHAOS_report.json. Blocking in CI.
+chaos:
+	go run ./cmd/mixload -chaos -seed 1 -rps 120 -chaos-phase 2s -out CHAOS_report.json
+
 # Regenerate every paper artifact (EXPERIMENTS.md).
 experiments:
 	go run ./cmd/mixbench
@@ -124,7 +133,8 @@ fmt:
 
 # What the CI workflow runs, invocable locally before pushing: the gofmt
 # gate, tier-1 build/vet/test, the -race suite, the fault-injection
-# battery, the coverage floor, and the bounded load smoke.
+# battery, the coverage floor, the bounded load smoke, and the replica
+# chaos campaign.
 ci:
 	@unformatted=$$(gofmt -l .); \
 	if [ -n "$$unformatted" ]; then \
@@ -135,6 +145,7 @@ ci:
 	$(MAKE) fault
 	$(MAKE) cover
 	$(MAKE) load-smoke
+	$(MAKE) chaos
 
 # The artifacts requested by the reproduction protocol.
 outputs:

@@ -13,6 +13,14 @@
 //	mixload -seed 1 -rps 100 -duration 10s -sources 6 -out BENCH_serve.json
 //	mixload -target http://localhost:8080 -view published -rps 50 -duration 30s
 //	mixload -faults 0.2 -breakers -slo-error-rate -1 -duration 5s
+//	mixload -chaos -replicas 3 -chaos-phase 2s -out CHAOS_report.json
+//
+// With -chaos the harness instead runs the replica chaos campaign (see
+// internal/load.RunChaos): each source becomes a replica set of leaf
+// servers driven through baseline, flapping-replica, full-blackout and
+// recovery phases, asserting zero errors under flapping, marked DTD-valid
+// stale serving under blackout, a retry-budget-bounded upstream load
+// amplification, and automatic recovery.
 //
 // Exit status: 0 when the run passed its SLOs, 1 on SLO failure, 2 on
 // harness error.
@@ -56,7 +64,21 @@ func main() {
 	sloShedRate := flag.Float64("slo-shed-rate", 0, "shed-rate ceiling; 0 = default (0.01), -1 = unchecked")
 	out := flag.String("out", "", "archive the report as JSON to this path (e.g. BENCH_serve.json)")
 	quiet := flag.Bool("quiet", false, "suppress the human-readable summary")
+	chaos := flag.Bool("chaos", false, "run the replica chaos campaign (baseline / flap / blackout / recovery) instead of the load stream")
+	replicas := flag.Int("replicas", 3, "replicas per source for the chaos campaign")
+	chaosPhase := flag.Duration("chaos-phase", 2*time.Second, "duration of each chaos campaign phase")
 	flag.Parse()
+
+	if *chaos {
+		runChaos(load.ChaosOptions{
+			Seed:     *seed,
+			Sources:  *sources,
+			Replicas: *replicas,
+			RPS:      *rps,
+			Phase:    *chaosPhase,
+		}, *out, *quiet)
+		return
+	}
 
 	opts := load.Options{
 		Seed:          *seed,
@@ -123,6 +145,30 @@ func main() {
 	if !rep.Pass {
 		os.Exit(1)
 	}
+}
+
+// runChaos executes the replica chaos campaign and exits with the same
+// status convention as a load run: 0 on pass, 1 on check failure, 2 on
+// harness error.
+func runChaos(opts load.ChaosOptions, out string, quiet bool) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	rep, err := load.RunChaos(ctx, opts)
+	if err != nil {
+		fatal(err)
+	}
+	if out != "" {
+		if err := rep.WriteFile(out); err != nil {
+			fatal(err)
+		}
+	}
+	if !quiet {
+		fmt.Println(rep.Summary())
+	}
+	if !rep.Pass {
+		os.Exit(1)
+	}
+	os.Exit(0)
 }
 
 func fatal(err error) {

@@ -52,6 +52,17 @@ type repeated []string
 func (r *repeated) String() string     { return strings.Join(*r, ",") }
 func (r *repeated) Set(v string) error { *r = append(*r, v); return nil }
 
+// hedgeDelayName renders the hedge-delay flag for the startup log.
+func hedgeDelayName(d time.Duration) string {
+	switch {
+	case d < 0:
+		return "off"
+	case d == 0:
+		return "p95"
+	}
+	return d.String()
+}
+
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	name := flag.String("name", "mix", "mediator name")
@@ -61,8 +72,14 @@ func main() {
 	traceBuffer := flag.Int("trace-buffer", serve.DefaultTraceCapacity, "number of recent request traces kept for /debug/trace")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof profiling endpoints under /debug/pprof/")
 	noPrune := flag.Bool("no-prune", false, "disable query-time per-part satisfiability pruning (sources are always fetched)")
+	hedgeDelay := flag.Duration("hedge-delay", 0, "replica hedge delay (0 derives it from the fetch-latency p95, negative disables hedging)")
+	retryBudgetCap := flag.Float64("retry-budget", 10, "retry-budget token capacity per replicated source (hedges, failovers and retries share it)")
+	retryRefill := flag.Float64("retry-refill", 1, "retry-budget refill rate, tokens per second")
+	noStaleServe := flag.Bool("no-stale-serve", false, "disable last-known-good stale serving when every replica of a source is down")
+	ejectCooldown := flag.Duration("eject-cooldown", 5*time.Second, "how long an ejected replica is skipped before a recovery probe")
+	healthInterval := flag.Duration("health-interval", 2*time.Second, "active replica health-check interval (0 disables active checks)")
 	var sources, views repeated
-	flag.Var(&sources, "source", "source as name=file.xml (repeatable); the file must carry a DOCTYPE internal subset")
+	flag.Var(&sources, "source", "source as name=file.xml or name=a.xml,b.xml,... (repeatable); several comma-separated files form a replica set (the files' DTDs must be equivalent)")
 	flag.Var(&views, "view", "view as source:file.xmas (repeatable)")
 	limitsOf := budgetflag.Register(flag.CommandLine)
 	flag.Parse()
@@ -98,30 +115,56 @@ func main() {
 		log.Printf("inference budget: deadline=%s states=%d classes=%d refine=%d",
 			limits.Deadline, limits.MaxStates, limits.MaxClasses, limits.MaxRefineSteps)
 	}
+	var replicaSets []*mix.ReplicaSet
 	for _, s := range sources {
-		nm, file, ok := strings.Cut(s, "=")
+		nm, spec, ok := strings.Cut(s, "=")
 		if !ok {
-			log.Fatalf("mixserve: -source %q must be name=file.xml", s)
+			log.Fatalf("mixserve: -source %q must be name=file.xml[,file2.xml,...]", s)
 		}
-		text, err := os.ReadFile(file)
-		if err != nil {
-			log.Fatal(err)
+		files := strings.Split(spec, ",")
+		replicas := make([]mix.Wrapper, 0, len(files))
+		for i, file := range files {
+			text, err := os.ReadFile(file)
+			if err != nil {
+				log.Fatal(err)
+			}
+			doc, d, err := mix.ParseDocument(string(text))
+			if err != nil {
+				log.Fatalf("mixserve: %s: %v", file, err)
+			}
+			if d == nil {
+				log.Fatalf("mixserve: %s has no DOCTYPE internal subset; the mediator needs the source DTD", file)
+			}
+			replicaName := nm
+			if len(files) > 1 {
+				replicaName = fmt.Sprintf("%s/replica-%d", nm, i)
+			}
+			src, err := mix.NewStaticSource(replicaName, doc, d)
+			if err != nil {
+				log.Fatal(err)
+			}
+			replicas = append(replicas, src)
+			log.Printf("source %s: %s (%d elements)", replicaName, file, doc.Root.Size())
 		}
-		doc, d, err := mix.ParseDocument(string(text))
-		if err != nil {
-			log.Fatalf("mixserve: %s: %v", file, err)
-		}
-		if d == nil {
-			log.Fatalf("mixserve: %s has no DOCTYPE internal subset; the mediator needs the source DTD", file)
-		}
-		src, err := mix.NewStaticSource(nm, doc, d)
-		if err != nil {
-			log.Fatal(err)
+		var src mix.Wrapper = replicas[0]
+		if len(replicas) > 1 {
+			rs, err := mix.NewReplicaSet(nm, replicas, mix.ReplicaSetOptions{
+				Health:            mix.HealthOptions{EjectCooldown: *ejectCooldown},
+				HedgeDelay:        *hedgeDelay,
+				Budget:            mix.NewRetryBudget(mix.RetryBudgetOptions{Capacity: *retryBudgetCap, RefillPerSecond: *retryRefill}),
+				DisableStaleServe: *noStaleServe,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			replicaSets = append(replicaSets, rs)
+			src = rs
+			log.Printf("source %s: replica set of %d (hedge-delay=%s, budget=%.0f+%.1f/s, stale-serve=%v)",
+				nm, len(replicas), hedgeDelayName(*hedgeDelay), *retryBudgetCap, *retryRefill, !*noStaleServe)
 		}
 		if err := m.AddSource(src); err != nil {
 			log.Fatal(err)
 		}
-		log.Printf("source %s: %s (%d elements)", nm, file, doc.Root.Size())
 	}
 	for _, v := range views {
 		srcName, file, ok := strings.Cut(v, ":")
@@ -178,6 +221,14 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if *healthInterval > 0 {
+		// One active health-check loop per replica set: ejected replicas are
+		// probed on a cadence, so recovery (and /readyz flipping back to 200)
+		// does not wait for query traffic.
+		for _, rs := range replicaSets {
+			go rs.RunHealthChecks(ctx, *healthInterval, *healthInterval)
+		}
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	log.Printf("mediator %s listening on %s (%d views)", *name, *addr, len(m.Views()))

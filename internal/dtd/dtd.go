@@ -190,6 +190,47 @@ func wordString(w []regex.Name) string {
 	return "(" + strings.Join(parts, ", ") + ")"
 }
 
+// Equivalent reports whether two DTDs describe the same document
+// language: the same document type (root name), the same set of element
+// names reachable from it, and, for every reachable name, content models
+// accepting the same child sequences (decided on the compiled minimal
+// DFAs, so syntactically different but language-equal models — (a|b) vs
+// (b|a) — compare equal). Declarations unreachable from the root are
+// ignored: no valid document can instantiate them, so they do not change
+// the language. Replica registration (mediator.NewReplicaSet) uses this
+// to verify that the replicas of one source are interchangeable.
+func Equivalent(a, b *DTD) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.Root != b.Root {
+		return false
+	}
+	ra, rb := a.Reachable(), b.Reachable()
+	if len(ra) != len(rb) {
+		return false
+	}
+	for name := range ra {
+		if !rb[name] {
+			return false
+		}
+		ta, tb := a.Types[name], b.Types[name]
+		if ta.PCDATA != tb.PCDATA {
+			return false
+		}
+		if ta.PCDATA {
+			continue
+		}
+		if (ta.Model == nil) != (tb.Model == nil) {
+			return false
+		}
+		if ta.Model != nil && !automata.Equivalent(ta.Model, tb.Model) {
+			return false
+		}
+	}
+	return true
+}
+
 // Reachable returns the set of names reachable from the document type
 // through content models (including the root itself, when declared).
 func (d *DTD) Reachable() map[string]bool {

@@ -1,0 +1,75 @@
+package dtd
+
+import "testing"
+
+func mustParse(t *testing.T, text string) *DTD {
+	t.Helper()
+	d, err := Parse(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestEquivalent exercises the language-equality decision replica
+// registration rests on: syntactic differences that keep the language
+// (reordered alternations, unreachable declarations) compare equal, while
+// any reachable difference — root, name set, PCDATA vs element content,
+// content model language — does not.
+func TestEquivalent(t *testing.T) {
+	base := `<!DOCTYPE r [
+	  <!ELEMENT r (a, (b|c)*)>
+	  <!ELEMENT a (#PCDATA)> <!ELEMENT b (#PCDATA)> <!ELEMENT c (#PCDATA)>
+	]>`
+	cases := []struct {
+		name string
+		a, b string
+		want bool
+	}{
+		{"identical", base, base, true},
+		{"reordered alternation", base, `<!DOCTYPE r [
+		  <!ELEMENT r (a, (c|b)*)>
+		  <!ELEMENT a (#PCDATA)> <!ELEMENT b (#PCDATA)> <!ELEMENT c (#PCDATA)>
+		]>`, true},
+		{"unreachable declaration ignored", base, `<!DOCTYPE r [
+		  <!ELEMENT r (a, (b|c)*)>
+		  <!ELEMENT a (#PCDATA)> <!ELEMENT b (#PCDATA)> <!ELEMENT c (#PCDATA)>
+		  <!ELEMENT ghost (a, b, c)>
+		]>`, true},
+		{"different root", base, `<!DOCTYPE a [
+		  <!ELEMENT a (#PCDATA)>
+		]>`, false},
+		{"different name set", base, `<!DOCTYPE r [
+		  <!ELEMENT r (a, (b|d)*)>
+		  <!ELEMENT a (#PCDATA)> <!ELEMENT b (#PCDATA)> <!ELEMENT d (#PCDATA)>
+		]>`, false},
+		{"pcdata vs element content", base, `<!DOCTYPE r [
+		  <!ELEMENT r (a, (b|c)*)>
+		  <!ELEMENT a (b)> <!ELEMENT b (#PCDATA)> <!ELEMENT c (#PCDATA)>
+		]>`, false},
+		{"different model language", base, `<!DOCTYPE r [
+		  <!ELEMENT r (a, (b|c)+)>
+		  <!ELEMENT a (#PCDATA)> <!ELEMENT b (#PCDATA)> <!ELEMENT c (#PCDATA)>
+		]>`, false},
+	}
+	for _, c := range cases {
+		da, db := mustParse(t, c.a), mustParse(t, c.b)
+		if got := Equivalent(da, db); got != c.want {
+			t.Errorf("%s: Equivalent = %v, want %v", c.name, got, c.want)
+		}
+		if got := Equivalent(db, da); got != c.want {
+			t.Errorf("%s (flipped): Equivalent = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+// TestEquivalentNil: nil compares equal only to nil.
+func TestEquivalentNil(t *testing.T) {
+	d := mustParse(t, `<!DOCTYPE a [ <!ELEMENT a (#PCDATA)> ]>`)
+	if !Equivalent(nil, nil) {
+		t.Error("nil/nil must be equivalent")
+	}
+	if Equivalent(d, nil) || Equivalent(nil, d) {
+		t.Error("nil must not be equivalent to a real DTD")
+	}
+}

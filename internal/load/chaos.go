@@ -1,0 +1,562 @@
+package load
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dtd"
+	"repro/internal/gen"
+	"repro/internal/mediator"
+	"repro/internal/obs"
+	"repro/internal/serve"
+	"repro/internal/xmas"
+)
+
+// ChaosOptions configures a replica chaos campaign (RunChaos): a fleet of
+// logical sources, each backed by Replicas interchangeable leaf servers
+// behind a ReplicaSet, driven through four phases — baseline, one replica
+// flapping, full blackout of one source, recovery — while the campaign
+// asserts the replica machinery's contract: flapping is invisible (zero
+// errors, bounded tail latency), a blackout degrades to marked DTD-valid
+// stale serving instead of errors, upstream load amplification stays
+// under the retry-budget ceiling, and recovery is automatic.
+type ChaosOptions struct {
+	// Seed fixes the synthesized fleet and corpora.
+	Seed int64
+	// Sources is the number of logical sources (default 3); source 0 is
+	// the chaos target.
+	Sources int
+	// Replicas is the number of interchangeable leaf servers per source
+	// (default 3).
+	Replicas int
+	// RPS is the open-loop request rate against the top mediator
+	// (default 120).
+	RPS float64
+	// Phase is the duration of each of the four phases (default 2s).
+	Phase time.Duration
+	// FlapInterval is how often the flapping replica toggles between up
+	// and down during the flap phase (default 250ms).
+	FlapInterval time.Duration
+	// HedgeDelay is the ReplicaSet hedge delay (default 20ms; the p95
+	// estimate needs more warmup than a short campaign provides).
+	HedgeDelay time.Duration
+	// EjectCooldown is how long an ejected replica is skipped before a
+	// recovery probe (default 150ms — scaled to the campaign, not
+	// production).
+	EjectCooldown time.Duration
+	// HealthInterval is the active health-check cadence (default 100ms).
+	HealthInterval time.Duration
+	// BudgetCapacity / BudgetRefill shape the shared retry budget
+	// (defaults 20 tokens, 5 tokens/s).
+	BudgetCapacity float64
+	BudgetRefill   float64
+	// P99Factor is the allowed tail-latency inflation during the flap
+	// phase relative to the baseline p99 (default 2).
+	P99Factor float64
+}
+
+func (o ChaosOptions) withDefaults() ChaosOptions {
+	if o.Sources <= 0 {
+		o.Sources = 3
+	}
+	if o.Replicas <= 0 {
+		o.Replicas = 3
+	}
+	if o.RPS <= 0 {
+		o.RPS = 120
+	}
+	if o.Phase <= 0 {
+		o.Phase = 2 * time.Second
+	}
+	if o.FlapInterval <= 0 {
+		o.FlapInterval = 250 * time.Millisecond
+	}
+	if o.HedgeDelay == 0 {
+		o.HedgeDelay = 20 * time.Millisecond
+	}
+	if o.EjectCooldown <= 0 {
+		o.EjectCooldown = 150 * time.Millisecond
+	}
+	if o.HealthInterval <= 0 {
+		o.HealthInterval = 100 * time.Millisecond
+	}
+	if o.BudgetCapacity <= 0 {
+		o.BudgetCapacity = 20
+	}
+	if o.BudgetRefill <= 0 {
+		o.BudgetRefill = 5
+	}
+	if o.P99Factor <= 0 {
+		o.P99Factor = 2
+	}
+	return o
+}
+
+// ChaosPhase is one phase's client-observed outcome.
+type ChaosPhase struct {
+	Requests int64 `json:"requests"`
+	Errors   int64 `json:"errors"`
+	// StaleResponses counts responses whose X-Mix-Stale-Sources header
+	// named the chaos source.
+	StaleResponses int64 `json:"stale_responses"`
+	// FinalStale reports whether a synchronous probe issued after the
+	// phase's traffic drained was still served stale.
+	FinalStale bool `json:"final_stale"`
+	// UpstreamHits counts wire-level requests that reached the chaos
+	// source's replica servers during the phase (load amplification).
+	UpstreamHits int64                 `json:"upstream_hits"`
+	Latency      obs.HistogramSnapshot `json:"latency"`
+}
+
+// ChaosReport is one campaign's archived result (CHAOS_report.json).
+type ChaosReport struct {
+	Seed           int64   `json:"seed"`
+	Sources        int     `json:"sources"`
+	Replicas       int     `json:"replicas"`
+	TargetRPS      float64 `json:"target_rps"`
+	PhaseSeconds   float64 `json:"phase_seconds"`
+	BudgetCapacity float64 `json:"budget_capacity"`
+	BudgetRefill   float64 `json:"budget_refill"`
+
+	// Phases holds the per-phase client outcomes keyed by phase name
+	// (baseline, flap, blackout, recovery).
+	Phases map[string]ChaosPhase `json:"phases"`
+	// ReplicaSet is the chaos source's final status snapshot.
+	ReplicaSet mediator.ReplicaSetStatus `json:"replica_set"`
+
+	Checks []SLOCheck `json:"checks"`
+	Pass   bool       `json:"pass"`
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *ChaosReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteFile archives the report (CHAOS_report.json).
+func (r *ChaosReport) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Summary renders a short human-readable digest of the campaign.
+func (r *ChaosReport) Summary() string {
+	var b strings.Builder
+	for _, name := range chaosPhaseNames {
+		ph, ok := r.Phases[name]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(&b, "  %-9s n=%-5d err=%-3d stale=%-4d upstream=%-4d p50=%s p99=%s\n",
+			name, ph.Requests, ph.Errors, ph.StaleResponses, ph.UpstreamHits,
+			fmtSeconds(ph.Latency.P50), fmtSeconds(ph.Latency.P99))
+	}
+	fmt.Fprintf(&b, "  replica set: %d attempts, %d hedged (%d wins, %d denied), %d failovers, %d stale serves, budget %d spent / %d denied\n",
+		r.ReplicaSet.Attempts, r.ReplicaSet.HedgedFetches, r.ReplicaSet.HedgeWins,
+		r.ReplicaSet.HedgesDenied, r.ReplicaSet.Failovers, r.ReplicaSet.StaleServes,
+		r.ReplicaSet.BudgetSpent, r.ReplicaSet.BudgetDenied)
+	verdict := "PASS"
+	if !r.Pass {
+		verdict = "FAIL"
+	}
+	fmt.Fprintf(&b, "chaos: %s", verdict)
+	for _, c := range r.Checks {
+		if !c.Pass {
+			fmt.Fprintf(&b, "\n  FAIL %s: actual %.6g, limit %.6g", c.Name, c.Actual, c.Limit)
+		}
+	}
+	return b.String()
+}
+
+var chaosPhaseNames = []string{"baseline", "flap", "blackout", "recovery"}
+
+// chaosReplica is one leaf server with a kill switch: down() makes every
+// request answer 503 without touching the inner mediator, up() restores
+// it. Hits counts wire-level requests either way — the amplification
+// ceiling is asserted against what actually reached the wire.
+type chaosReplica struct {
+	inner http.Handler
+	srv   *httptest.Server
+	down  atomic.Bool
+	hits  atomic.Int64
+}
+
+func (c *chaosReplica) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	c.hits.Add(1)
+	if c.down.Load() {
+		http.Error(w, "chaos: replica down", http.StatusServiceUnavailable)
+		return
+	}
+	c.inner.ServeHTTP(w, r)
+}
+
+// chaosFixture owns the campaign's servers and mediator.
+type chaosFixture struct {
+	opts     ChaosOptions
+	top      *mediator.Mediator
+	topSrv   *httptest.Server
+	client   *http.Client
+	replicas [][]*chaosReplica // [source][replica]
+	sets     []*mediator.ReplicaSet
+	target   string // the chaos source's name ("site0")
+}
+
+func (c *chaosFixture) close() {
+	if c.topSrv != nil {
+		c.topSrv.Close()
+	}
+	for _, reps := range c.replicas {
+		for _, rep := range reps {
+			rep.srv.Close()
+		}
+	}
+}
+
+// targetHits sums wire-level requests across the chaos source's replicas.
+func (c *chaosFixture) targetHits() int64 {
+	var n int64
+	for _, rep := range c.replicas[0] {
+		n += rep.hits.Load()
+	}
+	return n
+}
+
+func newChaosFixture(o ChaosOptions) (*chaosFixture, error) {
+	c := &chaosFixture{
+		opts:   o,
+		top:    mediator.New("chaos"),
+		client: &http.Client{Timeout: 10 * time.Second},
+		target: "site0",
+	}
+	fams := Families()
+	var parts []mediator.ViewPart
+	for i := 0; i < o.Sources; i++ {
+		view := fmt.Sprintf("site%d", i)
+		src, err := BuildSource("raw", SourceOptions{
+			Schema: SchemaOptions{Seed: o.Seed + int64(i), Family: fams[i%len(fams)]},
+			Gen:    gen.Options{MaxDepth: 6, LengthBias: 0.3, AssignIDs: true},
+		})
+		if err != nil {
+			c.close()
+			return nil, err
+		}
+		// Every replica of a source serves the same synthesized document
+		// through its own leaf mediator — genuinely interchangeable, which
+		// is what NewReplicaSet's DTD-equivalence check demands.
+		var reps []*chaosReplica
+		var wrappers []mediator.Wrapper
+		for rI := 0; rI < o.Replicas; rI++ {
+			leaf := mediator.New(fmt.Sprintf("%s-r%d", view, rI))
+			wrapper, err := mediator.NewStaticSource("raw", src.Doc, src.DTD)
+			if err != nil {
+				c.close()
+				return nil, err
+			}
+			if err := leaf.AddSource(wrapper); err != nil {
+				c.close()
+				return nil, err
+			}
+			if _, err := leaf.DefineUnionView(view, []mediator.ViewPart{{
+				Source: "raw",
+				Query:  xmas.MustParse(`SELECT X WHERE <raw> X:<entry/> </raw>`),
+			}}); err != nil {
+				c.close()
+				return nil, err
+			}
+			cr := &chaosReplica{inner: serve.New(leaf)}
+			cr.srv = httptest.NewServer(cr)
+			reps = append(reps, cr)
+
+			hs, err := mediator.NewHTTPSource(cr.srv.Client(), cr.srv.URL, view,
+				mediator.WithRetries(0)) // the ReplicaSet owns failover
+			if err != nil {
+				c.close()
+				return nil, err
+			}
+			wrappers = append(wrappers, hs)
+		}
+		c.replicas = append(c.replicas, reps)
+		rs, err := mediator.NewReplicaSet(view, wrappers, mediator.ReplicaSetOptions{
+			Health:     mediator.HealthOptions{EjectCooldown: o.EjectCooldown},
+			HedgeDelay: o.HedgeDelay,
+			Budget: mediator.NewRetryBudget(mediator.RetryBudgetOptions{
+				Capacity:        o.BudgetCapacity,
+				RefillPerSecond: o.BudgetRefill,
+			}),
+		})
+		if err != nil {
+			c.close()
+			return nil, err
+		}
+		c.sets = append(c.sets, rs)
+		if err := c.top.AddSource(rs); err != nil {
+			c.close()
+			return nil, err
+		}
+		parts = append(parts, mediator.ViewPart{
+			Source: view,
+			Query:  xmas.MustParse(fmt.Sprintf(`SELECT X WHERE <%s> X:<entry/> </%s>`, view, view)),
+		})
+	}
+	if _, err := c.top.DefineUnionView("chaos", parts); err != nil {
+		c.close()
+		return nil, err
+	}
+	c.topSrv = httptest.NewServer(serve.New(c.top))
+	return c, nil
+}
+
+// probe invalidates the chaos source (forcing its next materialization to
+// refetch through the ReplicaSet) and issues one GET of the union view,
+// returning the status, whether the answer was served stale, and the body.
+func (c *chaosFixture) probe(ctx context.Context) (status int, stale bool, body string, err error) {
+	c.top.InvalidateSource(c.target)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.topSrv.URL+"/views/chaos", nil)
+	if err != nil {
+		return 0, false, "", err
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return 0, false, "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return 0, false, "", err
+	}
+	for _, s := range strings.Split(resp.Header.Get("X-Mix-Stale-Sources"), ",") {
+		if s == c.target {
+			stale = true
+		}
+	}
+	return resp.StatusCode, stale, string(b), nil
+}
+
+// drive runs the open-loop stream for d, then issues one synchronous
+// closing probe whose staleness becomes FinalStale.
+func (c *chaosFixture) drive(ctx context.Context, d time.Duration) ChaosPhase {
+	hist := obs.NewHistogram()
+	var requests, errors, staleN atomic.Int64
+	interval := time.Duration(float64(time.Second) / c.opts.RPS)
+	if interval <= 0 {
+		interval = time.Millisecond
+	}
+	sem := make(chan struct{}, 32)
+	var wg sync.WaitGroup
+	ticker := time.NewTicker(interval)
+	deadline := time.NewTimer(d)
+loop:
+	for {
+		select {
+		case <-ctx.Done():
+			break loop
+		case <-deadline.C:
+			break loop
+		case <-ticker.C:
+			select {
+			case sem <- struct{}{}:
+			default:
+				continue // saturated: open loop sheds rather than queues
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { <-sem }()
+				start := time.Now()
+				status, stale, _, err := c.probe(ctx)
+				hist.Observe(time.Since(start))
+				requests.Add(1)
+				if err != nil || status != http.StatusOK {
+					errors.Add(1)
+				}
+				if stale {
+					staleN.Add(1)
+				}
+			}()
+		}
+	}
+	ticker.Stop()
+	deadline.Stop()
+	wg.Wait()
+
+	ph := ChaosPhase{
+		Requests:       requests.Load(),
+		Errors:         errors.Load(),
+		StaleResponses: staleN.Load(),
+		Latency:        hist.Snapshot(),
+	}
+	if ctx.Err() == nil {
+		status, stale, _, err := c.probe(ctx)
+		ph.Requests++
+		if err != nil || status != http.StatusOK {
+			ph.Errors++
+		}
+		if stale {
+			ph.StaleResponses++
+		}
+		ph.FinalStale = stale
+	}
+	return ph
+}
+
+// RunChaos executes the four-phase replica chaos campaign and evaluates
+// its checks. It is deterministic in fleet and corpora (Seed) but not in
+// timing — the checks are therefore bounds, not exact counts.
+func RunChaos(ctx context.Context, opts ChaosOptions) (*ChaosReport, error) {
+	o := opts.withDefaults()
+	c, err := newChaosFixture(o)
+	if err != nil {
+		return nil, err
+	}
+	defer c.close()
+
+	// Active health checks notice recovery without query traffic, exactly
+	// as cmd/mixserve wires them.
+	hctx, hstop := context.WithCancel(ctx)
+	defer hstop()
+	for _, rs := range c.sets {
+		go rs.RunHealthChecks(hctx, o.HealthInterval, o.HealthInterval)
+	}
+
+	rep := &ChaosReport{
+		Seed:           o.Seed,
+		Sources:        o.Sources,
+		Replicas:       o.Replicas,
+		TargetRPS:      o.RPS,
+		PhaseSeconds:   o.Phase.Seconds(),
+		BudgetCapacity: o.BudgetCapacity,
+		BudgetRefill:   o.BudgetRefill,
+		Phases:         map[string]ChaosPhase{},
+	}
+
+	// drivePhase runs one phase and attributes the chaos source's wire
+	// traffic to it.
+	drivePhase := func(name string) ChaosPhase {
+		before := c.targetHits()
+		ph := c.drive(ctx, o.Phase)
+		ph.UpstreamHits = c.targetHits() - before
+		rep.Phases[name] = ph
+		return ph
+	}
+
+	// Phase 1: baseline. Clean fleet; also warms the last-known-good
+	// cache that the blackout phase will serve from.
+	drivePhase("baseline")
+
+	// Phase 2: replica 0 of the chaos source flaps.
+	flapCtx, flapStop := context.WithCancel(ctx)
+	flapDone := make(chan struct{})
+	go func() {
+		defer close(flapDone)
+		t := time.NewTicker(o.FlapInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-flapCtx.Done():
+				c.replicas[0][0].down.Store(false)
+				return
+			case <-t.C:
+				c.replicas[0][0].down.Store(!c.replicas[0][0].down.Load())
+			}
+		}
+	}()
+	drivePhase("flap")
+	flapStop()
+	<-flapDone
+
+	// Phase 3: blackout — every replica of the chaos source down.
+	hitsBefore := c.targetHits()
+	probesBefore := c.sets[0].ReplicaStatus().ActiveProbes
+	for _, r := range c.replicas[0] {
+		r.down.Store(true)
+	}
+	blackoutStart := time.Now()
+	blackout := c.drive(ctx, o.Phase)
+	blackoutElapsed := time.Since(blackoutStart).Seconds()
+	// One full-body probe while still dark: the stale answer must be a
+	// valid document under its own inlined DTD (the stale-serving
+	// guarantee is "schema-valid but possibly outdated").
+	staleValid := false
+	if ctx.Err() == nil {
+		if status, stale, body, err := c.probe(ctx); err == nil && status == http.StatusOK && stale {
+			blackout.Requests++
+			blackout.StaleResponses++
+			if doc, d, perr := dtd.ParseDocument(body); perr == nil && d != nil && d.Validate(doc) == nil {
+				staleValid = true
+			}
+		}
+	}
+	blackout.UpstreamHits = c.targetHits() - hitsBefore
+	probesDelta := c.sets[0].ReplicaStatus().ActiveProbes - probesBefore
+	rep.Phases["blackout"] = blackout
+
+	// Phase 4: recovery.
+	for _, r := range c.replicas[0] {
+		r.down.Store(false)
+	}
+	drivePhase("recovery")
+
+	rep.ReplicaSet = c.sets[0].ReplicaStatus()
+	if ctx.Err() != nil {
+		return rep, ctx.Err()
+	}
+
+	// Evaluation. Tail-latency bounds get a small absolute slack (more
+	// under the race detector) so scheduler noise on a loopback fixture
+	// does not fail a structural property.
+	slack := 0.025
+	if raceEnabled {
+		slack = 0.1
+	}
+	rep.Pass = true
+	add := func(name string, limit, actual float64, pass bool) {
+		rep.Checks = append(rep.Checks, SLOCheck{Name: name, Limit: limit, Actual: actual, Pass: pass})
+		if !pass {
+			rep.Pass = false
+		}
+	}
+	base := rep.Phases["baseline"]
+	flap := rep.Phases["flap"]
+	rec := rep.Phases["recovery"]
+	add("baseline.errors", 0, float64(base.Errors), base.Errors == 0)
+	add("flap.errors", 0, float64(flap.Errors), flap.Errors == 0)
+	p99Limit := o.P99Factor*base.Latency.P99 + slack
+	add("flap.p99_seconds", p99Limit, flap.Latency.P99, flap.Latency.P99 <= p99Limit)
+	add("blackout.errors", 0, float64(blackout.Errors), blackout.Errors == 0)
+	add("blackout.stale_responses", 1, float64(blackout.StaleResponses), blackout.StaleResponses >= 1)
+	add("blackout.stale_answer_dtd_valid", 1, boolF(staleValid), staleValid)
+	// Load amplification ceiling: beyond one free primary attempt per
+	// request, every upstream hit is either budget-funded (capacity plus
+	// refill over the phase) or an active health probe.
+	ceiling := float64(blackout.Requests) + o.BudgetCapacity + o.BudgetRefill*blackoutElapsed + float64(probesDelta) + 8
+	add("blackout.upstream_hits", ceiling, float64(blackout.UpstreamHits),
+		float64(blackout.UpstreamHits) <= ceiling)
+	add("recovery.errors", 0, float64(rec.Errors), rec.Errors == 0)
+	add("recovery.final_not_stale", 0, boolF(rec.FinalStale), !rec.FinalStale)
+	return rep, nil
+}
+
+func boolF(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,80 @@
+package load
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRunChaosFaultPhases is a bounded end-to-end run of the replica
+// chaos campaign — the same harness `make chaos` gates CI on, with
+// phases short enough for a unit test. The SLO checks inside the report
+// ARE the assertions; the test additionally pins the structural
+// contract of the report (all four phases present, stale serving
+// observed during the blackout, report round-trips through JSON).
+func TestRunChaosFaultPhases(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos campaign takes multiple seconds")
+	}
+	rep, err := RunChaos(context.Background(), ChaosOptions{
+		Seed:  1,
+		RPS:   80,
+		Phase: 900 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range chaosPhaseNames {
+		ph, ok := rep.Phases[name]
+		if !ok {
+			t.Fatalf("report missing phase %q", name)
+		}
+		if ph.Requests == 0 {
+			t.Errorf("phase %q drove no requests", name)
+		}
+	}
+	if !rep.Pass {
+		t.Fatalf("campaign failed:\n%s", rep.Summary())
+	}
+	if rep.Phases["blackout"].StaleResponses == 0 {
+		t.Error("blackout phase served nothing stale")
+	}
+	if !rep.Phases["blackout"].FinalStale {
+		t.Error("blackout phase must end stale")
+	}
+	if rep.Phases["recovery"].FinalStale {
+		t.Error("recovery phase must end fresh")
+	}
+
+	// The report survives a JSON round-trip and the summary covers every
+	// phase plus the verdict.
+	path := filepath.Join(t.TempDir(), "chaos.json")
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ChaosReport
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !back.Pass || len(back.Checks) != len(rep.Checks) {
+		t.Errorf("round-trip lost checks: pass=%v n=%d want %d",
+			back.Pass, len(back.Checks), len(rep.Checks))
+	}
+	sum := rep.Summary()
+	for _, name := range chaosPhaseNames {
+		if !strings.Contains(sum, name) {
+			t.Errorf("summary missing phase %q", name)
+		}
+	}
+	if !strings.Contains(sum, "chaos: PASS") {
+		t.Errorf("summary missing verdict:\n%s", sum)
+	}
+}

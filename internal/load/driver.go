@@ -146,6 +146,9 @@ func NewHarness(opts Options) (*Harness, error) {
 			return nil, fmt.Errorf("load: fault injection, breakers and pruning control need in-process sources; they cannot drive a remote target")
 		}
 		h.base = strings.TrimRight(opts.Target, "/")
+		if err := h.preflight(); err != nil {
+			return nil, err
+		}
 		if err := h.buildRemotePools(); err != nil {
 			return nil, err
 		}
@@ -273,6 +276,37 @@ func (h *Harness) buildPools() *payloads {
 	}
 	p.infer = inferPool(h.opts.Seed)
 	return p
+}
+
+// preflight checks the remote target's liveness and readiness probes
+// before planning any traffic: a dead or not-ready mixserve should fail
+// the run immediately with the server's own diagnosis, not as a wall of
+// per-request errors. Servers predating the probes return 404, which is
+// tolerated — the DTD fetch in buildRemotePools is then the only gate.
+func (h *Harness) preflight() error {
+	resp, err := h.client.Get(h.base + "/healthz")
+	if err != nil {
+		return fmt.Errorf("load: remote target liveness probe: %w", err)
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusNotFound {
+		return fmt.Errorf("load: remote target /healthz: %s", resp.Status)
+	}
+	resp, err = h.client.Get(h.base + "/readyz")
+	if err != nil {
+		return fmt.Errorf("load: remote target readiness probe: %w", err)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusNotFound {
+		return fmt.Errorf("load: remote target not ready: %s: %s",
+			resp.Status, strings.TrimSpace(string(body)))
+	}
+	return nil
 }
 
 // buildRemotePools fetches the remote view's DTD and derives generic

@@ -311,6 +311,193 @@ func TestFaultCampaignPruningAndBreakersIndependent(t *testing.T) {
 	}
 }
 
+// TestFaultCampaignStaleDisjointHeaders drives one answer into carrying
+// all three provenance headers at once and checks they never share a
+// source: the four kind-less leaves are pruned, the kind-bearing leaf 2
+// is breaker-degraded, and the kind-bearing leaf 4 — rebuilt as a
+// two-replica ReplicaSet with a warmed last-known-good — serves stale
+// through a total replica outage.
+func TestFaultCampaignStaleDisjointHeaders(t *testing.T) {
+	top := mediator.New("top")
+	var parts []mediator.ViewPart
+	var names []string
+	var inner []http.Handler
+	var swap []*swappable
+	var replInner []http.Handler
+	var replSwap []*swappable
+	const rsName = "site4-rs"
+
+	for i, fam := range campaignFamilies {
+		src, err := BuildSource("raw", SourceOptions{
+			Schema: SchemaOptions{Seed: int64(100 + i), Family: fam},
+			Gen:    gen.Options{MaxDepth: 6, LengthBias: 0.3, AssignIDs: true},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		leafMed := mediator.New(fmt.Sprintf("leaf%d", i))
+		wrapper, err := mediator.NewStaticSource("raw", src.Doc, src.DTD)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := leafMed.AddSource(wrapper); err != nil {
+			t.Fatal(err)
+		}
+		view := fmt.Sprintf("site%d", i)
+		if _, err := leafMed.DefineUnionView(view, []mediator.ViewPart{{
+			Source: "raw",
+			Query:  xmas.MustParse(`SELECT X WHERE <raw> X:<entry/> </raw>`),
+		}}); err != nil {
+			t.Fatal(err)
+		}
+
+		var srcName string
+		if i == 4 {
+			// Two interchangeable HTTP replicas of the same leaf under a
+			// ReplicaSet; EjectAfter is high so the outage stays in
+			// stale-serving rather than all-ejected territory.
+			var wrappers []mediator.Wrapper
+			for r := 0; r < 2; r++ {
+				h := serve.New(leafMed)
+				sw := &swappable{h: h}
+				repl := httptest.NewServer(sw)
+				t.Cleanup(repl.Close)
+				replInner = append(replInner, h)
+				replSwap = append(replSwap, sw)
+				hs, err := mediator.NewHTTPSource(repl.Client(), repl.URL, view, mediator.WithRetries(0))
+				if err != nil {
+					t.Fatal(err)
+				}
+				wrappers = append(wrappers, hs)
+			}
+			rs, err := mediator.NewReplicaSet(rsName, wrappers, mediator.ReplicaSetOptions{
+				HedgeDelay: -1,
+				Health:     mediator.HealthOptions{EjectAfter: 100},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := top.AddSource(rs); err != nil {
+				t.Fatal(err)
+			}
+			srcName = rsName
+		} else {
+			h := serve.New(leafMed)
+			sw := &swappable{h: h}
+			leaf := httptest.NewServer(sw)
+			t.Cleanup(leaf.Close)
+			inner = append(inner, h)
+			swap = append(swap, sw)
+			hs, err := mediator.NewHTTPSource(leaf.Client(), leaf.URL, view, mediator.WithRetries(0))
+			if err != nil {
+				t.Fatal(err)
+			}
+			bs := mediator.NewBreakerSource(hs, mediator.BreakerOptions{
+				Threshold: 2,
+				Cooldown:  time.Hour,
+			})
+			if err := top.AddSource(bs); err != nil {
+				t.Fatal(err)
+			}
+			srcName = bs.Name()
+		}
+		names = append(names, srcName)
+		parts = append(parts, mediator.ViewPart{
+			Source: srcName,
+			Query:  xmas.MustParse(fmt.Sprintf(`SELECT X WHERE <%s> X:<entry/> </%s>`, view, view)),
+		})
+	}
+	if _, err := top.DefineUnionView("all", parts); err != nil {
+		t.Fatal(err)
+	}
+	topSrv := httptest.NewServer(serve.New(top))
+	t.Cleanup(topSrv.Close)
+	c := &campaign{top: top, topSrv: topSrv}
+
+	// Warm phase: the kind query contacts leaves 2 and 4 (kind-bearing),
+	// warming the ReplicaSet's last known good; no degradation, no stale.
+	code, hdr := c.post(t, kindQ)
+	if code != 200 {
+		t.Fatalf("warm kind query: %d", code)
+	}
+	if hdr.Get("X-Mix-Stale-Sources") != "" || hdr.Get("X-Mix-Degraded") != "" {
+		t.Fatalf("warm query advertised stale/degraded: %v", hdr)
+	}
+
+	// Outage phase: leaf 2's single server starts failing (→ breaker
+	// trips), and BOTH replicas of leaf 4 black out (→ stale serving).
+	swap[2].set(mediator.NewFaultyHandler(inner[2], faultBurst(1000, http.StatusServiceUnavailable)...))
+	for r, sw := range replSwap {
+		sw.set(mediator.NewFaultyHandler(replInner[r], faultBurst(1000, http.StatusServiceUnavailable)...))
+	}
+	top.Invalidate()
+	for i := 0; i < 2; i++ {
+		if code, _ = c.post(t, kindQ); code < 500 {
+			t.Fatalf("kind query %d while leaf 2's breaker is closed: %d, want 5xx", i, code)
+		}
+	}
+
+	code, hdr = c.post(t, kindQ)
+	if code != 200 {
+		t.Fatalf("post-trip kind query: %d", code)
+	}
+	prunedList := strings.Split(hdr.Get("X-Mix-Pruned-Sources"), ",")
+	degradedList := strings.Split(hdr.Get("X-Mix-Degraded-Sources"), ",")
+	staleList := strings.Split(hdr.Get("X-Mix-Stale-Sources"), ",")
+	if len(prunedList) != 4 {
+		t.Errorf("pruned = %v, want the 4 kind-less sources", prunedList)
+	}
+	for _, i := range []int{0, 1, 3, 5} {
+		if !contains(prunedList, names[i]) {
+			t.Errorf("kind-less source %d missing from pruned list %v", i, prunedList)
+		}
+	}
+	if len(degradedList) != 1 || degradedList[0] != names[2] {
+		t.Errorf("degraded = %v, want just %q", degradedList, names[2])
+	}
+	if len(staleList) != 1 || staleList[0] != rsName {
+		t.Errorf("stale = %v, want just %q", staleList, rsName)
+	}
+	pairs := []struct {
+		a, b       []string
+		what, than string
+	}{
+		{prunedList, degradedList, "pruned", "degraded"},
+		{prunedList, staleList, "pruned", "stale"},
+		{degradedList, staleList, "degraded", "stale"},
+	}
+	for _, p := range pairs {
+		for _, s := range p.a {
+			if contains(p.b, s) {
+				t.Errorf("source %q conflated: both %s and %s", s, p.what, p.than)
+			}
+		}
+	}
+
+	// The stale answer is never cached: a repeat during the outage goes
+	// back through the ReplicaSet and stays marked.
+	code, hdr = c.post(t, kindQ)
+	if code != 200 || hdr.Get("X-Mix-Stale-Sources") != rsName {
+		t.Fatalf("repeat stale query = %d, stale=%q", code, hdr.Get("X-Mix-Stale-Sources"))
+	}
+
+	// Recovery: replicas heal, the marker disappears (leaf 2 stays
+	// breaker-open and degraded — its cooldown is an hour).
+	for r, sw := range replSwap {
+		sw.set(replInner[r])
+	}
+	code, hdr = c.post(t, kindQ)
+	if code != 200 {
+		t.Fatalf("recovered kind query: %d", code)
+	}
+	if hdr.Get("X-Mix-Stale-Sources") != "" {
+		t.Errorf("healed replicas still marked stale: %q", hdr.Get("X-Mix-Stale-Sources"))
+	}
+	if hdr.Get("X-Mix-Degraded") != "true" {
+		t.Error("leaf 2 must still be degraded after replica recovery")
+	}
+}
+
 func contains(list []string, s string) bool {
 	for _, v := range list {
 		if v == s {

@@ -231,6 +231,104 @@ func TestUnionViewDegradesOnOpenBreaker(t *testing.T) {
 	}
 }
 
+// gateSource fails on demand and, when healthy, parks every fetch on a
+// gate until the test releases it — so a test can hold the half-open
+// probe in flight while a crowd of concurrent callers hammers Allow.
+type gateSource struct {
+	inner   *StaticSource
+	failing atomic.Bool
+	entered chan struct{} // one signal per fetch that reaches the gate
+	release chan struct{}
+	fetches atomic.Int64
+}
+
+func (s *gateSource) Name() string     { return s.inner.Name() }
+func (s *gateSource) Schema() *dtd.DTD { return s.inner.Schema() }
+func (s *gateSource) Fetch(ctx context.Context) (*xmlmodel.Document, error) {
+	s.fetches.Add(1)
+	if s.failing.Load() {
+		return nil, errors.New("site down")
+	}
+	s.entered <- struct{}{}
+	<-s.release
+	return s.inner.Fetch(ctx)
+}
+
+// TestBreakerHalfOpenSingleProbeConcurrent (run under -race): when the
+// cooldown elapses and a crowd of concurrent requests arrives at the
+// half-open breaker, exactly one becomes the probe and reaches the
+// source; every other caller is rejected with ErrBreakerOpen rather than
+// joining the probe or racing the state transition.
+func TestBreakerHalfOpenSingleProbeConcurrent(t *testing.T) {
+	const callers = 20
+	clk := &testClock{}
+	gate := &gateSource{
+		inner:   staticDeptSource(t),
+		entered: make(chan struct{}, 1),
+		release: make(chan struct{}),
+	}
+	bs := NewBreakerSource(gate, BreakerOptions{Threshold: 1, Cooldown: time.Minute, Clock: clk.Now})
+
+	// Trip the breaker, then let the cooldown pass: the next Allow is the
+	// half-open probe slot.
+	gate.failing.Store(true)
+	if _, err := bs.Fetch(context.Background()); err == nil {
+		t.Fatal("tripping fetch must fail")
+	}
+	if got := bs.BreakerTrips(); got != 1 {
+		t.Fatalf("trips = %d, want 1", got)
+	}
+	gate.failing.Store(false)
+	clk.Advance(time.Minute)
+
+	var wg sync.WaitGroup
+	var successes, rejections atomic.Int64
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			switch _, err := bs.Fetch(context.Background()); {
+			case err == nil:
+				successes.Add(1)
+			case errors.Is(err, ErrBreakerOpen):
+				rejections.Add(1)
+			default:
+				t.Errorf("unexpected error: %v", err)
+			}
+		}()
+	}
+
+	// One caller is parked at the gate (the probe). Wait for the other
+	// callers to drain against the closed probe slot, then let it finish.
+	<-gate.entered
+	deadline := time.After(5 * time.Second)
+	for bs.BreakerRejections() < callers-1 {
+		select {
+		case <-deadline:
+			t.Fatalf("rejections = %d after 5s, want %d", bs.BreakerRejections(), callers-1)
+		case <-time.After(time.Millisecond):
+		}
+	}
+	close(gate.release)
+	wg.Wait()
+
+	if got := successes.Load(); got != 1 {
+		t.Errorf("successes = %d, want exactly the probe", got)
+	}
+	if got := rejections.Load(); got != callers-1 {
+		t.Errorf("rejections = %d, want %d", got, callers-1)
+	}
+	// Wire truth: the source saw the tripping fetch and one probe — the
+	// half-open crowd never reached it.
+	if got := gate.fetches.Load(); got != 2 {
+		t.Errorf("source fetches = %d, want 2 (trip + single probe)", got)
+	}
+	// The successful probe closed the breaker.
+	if err := bs.Breaker().Allow(); err != nil {
+		t.Errorf("breaker must be closed after the probe succeeded: %v", err)
+	}
+}
+
 // TestQueryReportsDegraded: the Query path must propagate the degraded
 // flag of the materialization it ran against into QueryStats.
 func TestQueryReportsDegraded(t *testing.T) {

@@ -64,10 +64,11 @@ type HTTPSource struct {
 	viewURL string
 	schema  *dtd.DTD
 
-	maxRetries int
-	backoff    time.Duration
-	maxBackoff time.Duration
-	retries    atomic.Int64
+	maxRetries  int
+	backoff     time.Duration
+	maxBackoff  time.Duration
+	retryBudget *RetryBudget
+	retries     atomic.Int64
 	// sleep waits between retries (honoring ctx); tests inject a stub to
 	// observe the requested delays without actually waiting.
 	sleep func(ctx context.Context, d time.Duration) error
@@ -103,6 +104,16 @@ func WithMaxBackoff(d time.Duration) HTTPOption {
 			s.maxBackoff = d
 		}
 	}
+}
+
+// WithRetryBudget makes every retry spend a token from b before sleeping
+// its backoff; when the bucket is dry the fetch fails immediately with
+// the last error instead of burning more attempts (and the backoff sleep
+// before them) against a browned-out remote. Share one budget between a
+// source's retries and its ReplicaSet's hedges (ReplicaSet.Budget) to cap
+// the source's total load amplification.
+func WithRetryBudget(b *RetryBudget) HTTPOption {
+	return func(s *HTTPSource) { s.retryBudget = b }
 }
 
 // NewHTTPSource contacts baseURL (a mixserve instance) and registers the
@@ -216,7 +227,14 @@ func (s *HTTPSource) get(ctx context.Context, url string) (string, error) {
 		default:
 			return "", fmt.Errorf("GET %s: %d: %s", url, status, strings.TrimSpace(body))
 		}
+		// Give up without sleeping when no retry can follow: the retry
+		// count is exhausted, the caller's context is already done (a
+		// cancelled fetch must not burn a full backoff first), or the
+		// retry budget is dry (a brownout must not be amplified).
 		if attempt >= s.maxRetries || ctx.Err() != nil {
+			return "", lastErr
+		}
+		if s.retryBudget != nil && !s.retryBudget.Allow() {
 			return "", lastErr
 		}
 		if s.sleep(ctx, jitter(backoff)) != nil {

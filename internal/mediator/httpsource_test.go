@@ -267,6 +267,99 @@ func TestHTTPSourceBackoffCapAndJitter(t *testing.T) {
 	}
 }
 
+// TestHTTPSourceBudgetDryNoSleep: with a shared retry budget, the retry
+// loop spends a token per retry and gives up the moment the bucket is dry
+// — without first sleeping a backoff that no retry will follow.
+func TestHTTPSourceBudgetDryNoSleep(t *testing.T) {
+	var calls atomic.Int64
+	srv := remoteView(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "browned out", http.StatusServiceUnavailable)
+	})
+	defer srv.Close()
+
+	fixed := time.Unix(1, 0)
+	budget := NewRetryBudget(RetryBudgetOptions{
+		Capacity: 1, RefillPerSecond: 1, Clock: func() time.Time { return fixed },
+	})
+	src, err := NewHTTPSource(nil, srv.URL, "v",
+		WithRetries(5), WithBackoff(time.Millisecond), WithRetryBudget(budget))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sleeps atomic.Int64
+	src.sleep = func(ctx context.Context, d time.Duration) error {
+		sleeps.Add(1)
+		return nil
+	}
+
+	if _, err := src.Fetch(context.Background()); err == nil {
+		t.Fatal("fetch from a dead remote must fail")
+	}
+	// One token: one backoff sleep, one retry, then an immediate give-up.
+	if got := sleeps.Load(); got != 1 {
+		t.Errorf("sleeps = %d, want 1 (only the budgeted retry backs off)", got)
+	}
+	if got := src.Retries(); got != 1 {
+		t.Errorf("retries = %d, want 1", got)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Errorf("requests = %d, want 2 (primary + the single budgeted retry)", got)
+	}
+	if got := budget.Denied(); got != 1 {
+		t.Errorf("budget denials = %d, want 1", got)
+	}
+
+	// The bucket is still dry: the next fetch fails after its free primary
+	// attempt, with no sleep at all.
+	if _, err := src.Fetch(context.Background()); err == nil {
+		t.Fatal("fetch must still fail")
+	}
+	if got := sleeps.Load(); got != 1 {
+		t.Errorf("sleeps = %d after the second fetch, want still 1", got)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("requests = %d, want 3", got)
+	}
+}
+
+// TestHTTPSourceCancelledContextNoSleep: once the caller's context is
+// done, the retry loop must return immediately — burning a backoff sleep
+// before a retry that cannot run would hold the caller's goroutine for
+// nothing.
+func TestHTTPSourceCancelledContextNoSleep(t *testing.T) {
+	srv := remoteView(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "down", http.StatusServiceUnavailable)
+	})
+	defer srv.Close()
+
+	src, err := NewHTTPSource(nil, srv.URL, "v", WithRetries(5), WithBackoff(10*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sleeps atomic.Int64
+	src.sleep = func(ctx context.Context, d time.Duration) error {
+		sleeps.Add(1)
+		return ctx.Err()
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	if _, err := src.Fetch(ctx); err == nil {
+		t.Fatal("fetch with a cancelled context must fail")
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("fetch held the caller for %v after cancellation", elapsed)
+	}
+	if got := sleeps.Load(); got != 0 {
+		t.Errorf("sleeps = %d, want 0 (no backoff after cancellation)", got)
+	}
+	if got := src.Retries(); got != 0 {
+		t.Errorf("retries = %d, want 0", got)
+	}
+}
+
 // TestHTTPSourceStreamValidatesBody: the fetch path validates the remote
 // body with the streaming validator before any tree is built, so a
 // DTD-violating payload and a malformed one fail with distinct errors

@@ -163,6 +163,13 @@ type QueryStats struct {
 	// set Degraded, does not trip breakers, and prunes are cacheable.
 	// internal/serve surfaces this as X-Mix-Pruned-Sources.
 	PrunedSources []string
+	// StaleSources names the sources whose parts were served from a
+	// last-known-good document because every replica was down (see
+	// ReplicaSet). Disjoint from both DegradedSources (those parts are
+	// *missing*; stale parts are present but possibly outdated) and
+	// PrunedSources (those are exact). internal/serve surfaces this as
+	// X-Mix-Stale-Sources.
+	StaleSources []string
 }
 
 // MaterializeInfo reports how a materialization went beyond its document:
@@ -182,6 +189,12 @@ type MaterializeInfo struct {
 	// proven empty for the query at hand — so pruned materializations are
 	// cached (under a mask-specific key) and are not marked Degraded.
 	PrunedSources []string
+	// StaleSources names the sources whose parts came from a ReplicaSet's
+	// last-known-good document (sorted): every replica failed, so the part
+	// is present and DTD-valid but possibly outdated. Stale
+	// materializations are never cached — the next one retries the
+	// replicas — and are not marked Degraded (nothing is missing).
+	StaleSources []string
 }
 
 // inflightCall is one in-progress materialization; followers wait on done
@@ -531,6 +544,11 @@ func (m *Mediator) materializeMasked(ctx context.Context, viewName string, keep 
 		span.Event("materialize.degraded",
 			obs.String("dropped_sources", strings.Join(info.DegradedSources, ",")))
 	}
+	if err == nil && len(info.StaleSources) > 0 {
+		m.stats.add(&m.stats.staleMaterializations, 1)
+		span.Event("materialize.stale",
+			obs.String("stale_sources", strings.Join(info.StaleSources, ",")))
+	}
 	if err != nil {
 		span.SetAttr(obs.String("error", err.Error()))
 	}
@@ -542,14 +560,16 @@ func (m *Mediator) materializeMasked(ctx context.Context, viewName string, keep 
 	// The entry may already have been detached by Invalidate; only remove
 	// it when it is still ours, and only cache complete results from the
 	// current generation (the stale write-back guard; degraded documents
-	// must not outlive the outage that shaped them). Pruned-but-complete
-	// results are cached: the omission is a proof, not an outage.
+	// must not outlive the outage that shaped them, and last-known-good
+	// parts must be retried, not pinned). Pruned-but-complete results are
+	// cached: the omission is a proof, not an outage.
 	if m.inflight[key] == call {
 		delete(m.inflight, key)
 	}
-	if err == nil && !info.Degraded && call.gen == m.viewGen[viewName] {
+	cacheable := err == nil && !info.Degraded && len(info.StaleSources) == 0
+	if cacheable && call.gen == m.viewGen[viewName] {
 		m.matCache[key] = doc
-	} else if err == nil && !info.Degraded {
+	} else if cacheable {
 		stale = true
 	}
 	m.mu.Unlock()
@@ -625,6 +645,7 @@ func (m *Mediator) evaluate(ctx context.Context, v *View, wrappers []Wrapper, ke
 		children []*xmlmodel.Element
 		err      error
 		dropped  bool
+		stale    bool
 	}
 	results := make([]partResult, len(v.Parts))
 	var wg sync.WaitGroup
@@ -644,7 +665,21 @@ func (m *Mediator) evaluate(ctx context.Context, v *View, wrappers []Wrapper, ke
 			// request shows which source stalled (fault injection, retries)
 			// or was dropped by its breaker.
 			fctx, fspan := obs.StartSpan(ctx, "source.fetch", obs.String("source", p.Source))
-			doc, err := wrappers[i].Fetch(fctx)
+			var doc *xmlmodel.Document
+			var err error
+			// Prefer the stale-aware fetch when the wrapper offers one
+			// (ReplicaSet): a last-known-good answer flows through with its
+			// marker instead of being indistinguishable from a live one.
+			if sf, ok := wrappers[i].(StaleFetcher); ok {
+				var stale bool
+				doc, stale, err = sf.FetchStale(fctx)
+				if err == nil && stale {
+					results[i].stale = true
+					fspan.Event("source.stale_serve", obs.String("source", p.Source))
+				}
+			} else {
+				doc, err = wrappers[i].Fetch(fctx)
+			}
 			if errors.Is(err, ErrBreakerOpen) {
 				fspan.Event("breaker.open_drop", obs.String("source", p.Source))
 				fspan.End()
@@ -668,6 +703,12 @@ func (m *Mediator) evaluate(ctx context.Context, v *View, wrappers []Wrapper, ke
 				return
 			}
 			results[i].children = part.Root.Children
+			if results[i].stale {
+				// A stale (last-known-good) part must not enter the part
+				// cache: the next materialization should retry the replicas,
+				// not inherit the outage.
+				return
+			}
 			// Per-part stale write-back guard: cache only results whose
 			// source generation is unchanged since the fetch started.
 			m.mu.Lock()
@@ -702,6 +743,7 @@ func (m *Mediator) evaluate(ctx context.Context, v *View, wrappers []Wrapper, ke
 	info := &MaterializeInfo{PrunedSources: prunedSources(v, keep)}
 	root := &xmlmodel.Element{Name: v.Name}
 	var reused, recomputed []string
+	staleSet := map[string]bool{}
 	for i, r := range results {
 		if keep != nil && !keep[i] {
 			continue
@@ -711,6 +753,9 @@ func (m *Mediator) evaluate(ctx context.Context, v *View, wrappers []Wrapper, ke
 			info.DegradedSources = append(info.DegradedSources, v.Parts[i].Source)
 			continue
 		}
+		if r.stale {
+			staleSet[v.Parts[i].Source] = true
+		}
 		if plans[i].reuse {
 			reused = append(reused, v.Parts[i].Source)
 		} else {
@@ -719,6 +764,10 @@ func (m *Mediator) evaluate(ctx context.Context, v *View, wrappers []Wrapper, ke
 		root.Children = append(root.Children, r.children...)
 	}
 	sort.Strings(info.DegradedSources)
+	for s := range staleSet {
+		info.StaleSources = append(info.StaleSources, s)
+	}
+	sort.Strings(info.StaleSources)
 	m.stats.add(&m.stats.partsReused, int64(len(reused)))
 	m.stats.add(&m.stats.partsRecomputed, int64(len(recomputed)))
 	obs.AddEvent(ctx, "materialize.delta",
@@ -799,6 +848,7 @@ func (m *Mediator) Query(ctx context.Context, viewName string, q *xmas.Query) (*
 	stats.Degraded = info.Degraded
 	stats.DegradedSources = info.DegradedSources
 	stats.PrunedSources = info.PrunedSources
+	stats.StaleSources = info.StaleSources
 	res, err := engine.Eval(sq, doc)
 	if err != nil {
 		return nil, nil, err

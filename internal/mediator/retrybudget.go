@@ -1,0 +1,111 @@
+package mediator
+
+import (
+	"sync"
+	"time"
+)
+
+// RetryBudgetOptions configures a RetryBudget.
+type RetryBudgetOptions struct {
+	// Capacity is the maximum number of tokens the bucket holds (and its
+	// initial fill); default 10.
+	Capacity float64
+	// RefillPerSecond is the steady-state token refill rate; default 1.
+	RefillPerSecond float64
+	// Clock overrides time.Now, letting tests drive refill without
+	// sleeping.
+	Clock func() time.Time
+}
+
+func (o RetryBudgetOptions) withDefaults() RetryBudgetOptions {
+	if o.Capacity <= 0 {
+		o.Capacity = 10
+	}
+	if o.RefillPerSecond <= 0 {
+		o.RefillPerSecond = 1
+	}
+	if o.Clock == nil {
+		o.Clock = time.Now
+	}
+	return o
+}
+
+// RetryBudget is a token bucket bounding the *extra* upstream load a
+// source may generate beyond its primary fetches: HTTPSource backoff
+// retries, ReplicaSet hedges and failovers all draw from the same bucket,
+// so during a brownout the total amplification is capped at
+// Capacity + RefillPerSecond·t no matter how many replicas or retry loops
+// are stacked ("retry budgets", The Tail at Scale). The bucket starts
+// full — a short blip can be absorbed immediately — and refills lazily on
+// Allow. Safe for concurrent use.
+type RetryBudget struct {
+	opts RetryBudgetOptions
+
+	mu     sync.Mutex
+	tokens float64
+	last   time.Time
+
+	spent  int64
+	denied int64
+}
+
+// NewRetryBudget builds a budget with the given options (zero values get
+// defaults).
+func NewRetryBudget(opts RetryBudgetOptions) *RetryBudget {
+	o := opts.withDefaults()
+	return &RetryBudget{opts: o, tokens: o.Capacity, last: o.Clock()}
+}
+
+// Allow spends one token if available and reports whether the retry (or
+// hedge) may proceed. A denied call costs nothing and is counted.
+func (b *RetryBudget) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refill()
+	if b.tokens >= 1 {
+		b.tokens--
+		b.spent++
+		return true
+	}
+	b.denied++
+	return false
+}
+
+// refill credits tokens for the time elapsed since the last refill.
+// Caller holds b.mu.
+func (b *RetryBudget) refill() {
+	now := b.opts.Clock()
+	if elapsed := now.Sub(b.last); elapsed > 0 {
+		b.tokens += elapsed.Seconds() * b.opts.RefillPerSecond
+		if b.tokens > b.opts.Capacity {
+			b.tokens = b.opts.Capacity
+		}
+	}
+	b.last = now
+}
+
+// Tokens returns the current (refilled) token count.
+func (b *RetryBudget) Tokens() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refill()
+	return b.tokens
+}
+
+// Capacity returns the configured bucket capacity.
+func (b *RetryBudget) Capacity() float64 { return b.opts.Capacity }
+
+// Spent returns the number of tokens ever granted.
+func (b *RetryBudget) Spent() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.spent
+}
+
+// Denied returns the number of Allow calls rejected because the bucket
+// was dry.
+func (b *RetryBudget) Denied() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.denied
+}

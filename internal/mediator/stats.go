@@ -83,6 +83,22 @@ type Stats struct {
 	BreakerTrips      int64 `json:"breaker_trips"`
 	BreakerRejections int64 `json:"breaker_rejections"`
 
+	// Replica-tier totals, summed over all registered wrappers that expose
+	// a ReplicaReporter (ReplicaSet): hedged reads launched / won / denied
+	// by the retry budget, failover launches, and fetches answered from a
+	// last-known-good document. StaleMaterializations counts
+	// materializations that included at least one stale part (uncached,
+	// surfaced as X-Mix-Stale-Sources).
+	HedgedFetches         int64 `json:"hedged_fetches"`
+	HedgeWins             int64 `json:"hedge_wins"`
+	HedgesDenied          int64 `json:"hedges_denied"`
+	Failovers             int64 `json:"failovers"`
+	StaleServes           int64 `json:"stale_serves"`
+	StaleMaterializations int64 `json:"stale_materializations"`
+	// Replicas holds the per-source replica-set status snapshots, keyed by
+	// source name.
+	Replicas map[string]ReplicaSetStatus `json:"replicas,omitempty"`
+
 	// PartsPruned counts view parts skipped by query-time satisfiability
 	// pruning (see prune.go) — sources never fetched because the query was
 	// proven unable to touch them. Pruning preserves answers exactly, so
@@ -121,6 +137,7 @@ type statsCounters struct {
 	simplifierPruned, simplifierDropped, simplifierSkips         int64
 	simplifierErrors                                             int64
 	degradedViews, budgetExhaustions, degradedMaterializations   int64
+	staleMaterializations                                        int64
 	partsPruned                                                  int64
 	views                                                        map[string]*ViewStats
 	// hists holds the live per-view histograms backing the snapshot
@@ -214,6 +231,7 @@ func (m *Mediator) Stats() Stats {
 		DegradedViews:            s.degradedViews,
 		BudgetExhaustions:        s.budgetExhaustions,
 		DegradedMaterializations: s.degradedMaterializations,
+		StaleMaterializations:    s.staleMaterializations,
 		PartsPruned:              s.partsPruned,
 		StreamValidation:         dtd.StreamValidationStats(),
 		AutomataCache:            automata.CacheStats(),
@@ -243,6 +261,37 @@ func (m *Mediator) Stats() Stats {
 		if bc, ok := w.(BreakerCounter); ok {
 			out.BreakerTrips += bc.BreakerTrips()
 			out.BreakerRejections += bc.BreakerRejections()
+		}
+		if rr, ok := w.(ReplicaReporter); ok {
+			rs := rr.ReplicaStatus()
+			out.HedgedFetches += rs.HedgedFetches
+			out.HedgeWins += rs.HedgeWins
+			out.HedgesDenied += rs.HedgesDenied
+			out.Failovers += rs.Failovers
+			out.StaleServes += rs.StaleServes
+			if out.Replicas == nil {
+				out.Replicas = map[string]ReplicaSetStatus{}
+			}
+			out.Replicas[rs.Source] = rs
+		}
+	}
+	return out
+}
+
+// ReplicaStatuses snapshots every registered replica-aware wrapper, keyed
+// by source name (the /readyz readiness probe evaluates these).
+func (m *Mediator) ReplicaStatuses() map[string]ReplicaSetStatus {
+	m.mu.Lock()
+	wrappers := make([]Wrapper, 0, len(m.wrappers))
+	for _, w := range m.wrappers {
+		wrappers = append(wrappers, w)
+	}
+	m.mu.Unlock()
+	out := map[string]ReplicaSetStatus{}
+	for _, w := range wrappers {
+		if rr, ok := w.(ReplicaReporter); ok {
+			rs := rr.ReplicaStatus()
+			out[rs.Source] = rs
 		}
 	}
 	return out

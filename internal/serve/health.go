@@ -1,0 +1,79 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"sort"
+
+	"repro/internal/mediator"
+)
+
+// getHealthz is the liveness probe: the process is up and the handler is
+// serving. It deliberately checks nothing else — a mediator drowning in
+// source outages is degraded, not dead, and restarting it would only
+// throw away its last-known-good caches.
+func (h *Handler) getHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ok\n")
+}
+
+// readiness is the /readyz response body.
+type readiness struct {
+	Ready   bool `json:"ready"`
+	Views   int  `json:"views"`
+	Sources int  `json:"sources"`
+	// Issues lists why the instance is not ready (empty when Ready).
+	Issues []string `json:"issues,omitempty"`
+	// Replicas carries the per-source replica-set snapshots the verdict
+	// was computed from (only replica-aware sources appear).
+	Replicas map[string]mediator.ReplicaSetStatus `json:"replicas,omitempty"`
+}
+
+// getReadyz is the readiness probe: 200 when the instance can answer
+// queries, 503 otherwise. Ready means every view is compiled (views are
+// compiled at definition time, so this is a count check) and no
+// replica-aware source is unservable — a ReplicaSet with zero available
+// (healthy or suspect) replicas still counts as servable when stale
+// serving is enabled and a last-known-good document is cached, because
+// that is exactly the degraded-but-sound mode it would answer in.
+// Load balancers and mixload's remote pre-flight consult this before
+// sending traffic.
+func (h *Handler) getReadyz(w http.ResponseWriter, r *http.Request) {
+	rep := readiness{
+		Ready:   true,
+		Views:   len(h.m.Views()),
+		Sources: len(h.m.Sources()),
+	}
+	if rep.Views == 0 {
+		rep.Ready = false
+		rep.Issues = append(rep.Issues, "no views defined")
+	}
+	statuses := h.m.ReplicaStatuses()
+	if len(statuses) > 0 {
+		rep.Replicas = statuses
+	}
+	names := make([]string, 0, len(statuses))
+	for name := range statuses {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		st := statuses[name]
+		if st.Available > 0 {
+			continue
+		}
+		if st.StaleServe && st.HasLastKnownGood {
+			continue
+		}
+		rep.Ready = false
+		rep.Issues = append(rep.Issues, "source "+name+" has no available replica and no stale fallback")
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	if !rep.Ready {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(rep)
+}

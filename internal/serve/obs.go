@@ -145,6 +145,21 @@ func (h *Handler) getDebugTrace(w http.ResponseWriter, r *http.Request) {
 	}{h.tracer.Capacity(), h.tracer.Recorded(), traces})
 }
 
+// replicaStateValue maps a replica health-state name to its gauge value.
+func replicaStateValue(state string) float64 {
+	switch state {
+	case "healthy":
+		return 0
+	case "suspect":
+		return 1
+	case "ejected":
+		return 2
+	case "probing":
+		return 3
+	}
+	return -1
+}
+
 // wantsPrometheus reports whether the /metrics request asked for the text
 // exposition format instead of the default JSON snapshot: either
 // explicitly (?format=prometheus) or via an Accept header preferring
@@ -191,6 +206,32 @@ func (h *Handler) writePrometheus(w http.ResponseWriter) {
 	mw.Counter("mix_degraded_materializations_total", "Materializations served without breaker-open sources.", float64(st.DegradedMaterializations))
 	mw.Counter("mix_breaker_trips_total", "Circuit-breaker transitions to the open state.", float64(st.BreakerTrips))
 	mw.Counter("mix_breaker_rejections_total", "Fetches rejected by an open circuit breaker.", float64(st.BreakerRejections))
+
+	mw.Counter("mix_hedged_fetches_total", "Hedged reads launched across replica sets.", float64(st.HedgedFetches))
+	mw.Counter("mix_hedge_wins_total", "Fetches won by a hedge or failover rather than the primary.", float64(st.HedgeWins))
+	mw.Counter("mix_hedges_denied_total", "Hedges denied because the retry budget was dry.", float64(st.HedgesDenied))
+	mw.Counter("mix_replica_failovers_total", "Failover fetches launched after a replica failure.", float64(st.Failovers))
+	mw.Counter("mix_stale_serves_total", "Fetches answered from a last-known-good document.", float64(st.StaleServes))
+	mw.Counter("mix_stale_materializations_total", "Materializations containing at least one stale part.", float64(st.StaleMaterializations))
+
+	// Per-replica health gauges: numeric state (0 healthy, 1 suspect,
+	// 2 ejected, 3 probing) plus the per-set budget level, sorted for
+	// stable output.
+	repSources := make([]string, 0, len(st.Replicas))
+	for name := range st.Replicas {
+		repSources = append(repSources, name)
+	}
+	sort.Strings(repSources)
+	for _, name := range repSources {
+		rs := st.Replicas[name]
+		srcLabel := obs.Label{Name: "source", Value: name}
+		for _, rep := range rs.Replicas {
+			mw.Gauge("mix_replica_state", "Replica health (0 healthy, 1 suspect, 2 ejected, 3 probing).",
+				replicaStateValue(rep.State), srcLabel, obs.Label{Name: "replica", Value: rep.Name})
+		}
+		mw.Gauge("mix_replica_available", "Replicas currently taking traffic (healthy or suspect).", float64(rs.Available), srcLabel)
+		mw.Gauge("mix_retry_budget_tokens", "Retry-budget tokens remaining for the source.", rs.BudgetTokens, srcLabel)
+	}
 
 	ac := st.AutomataCache
 	mw.Counter("mix_automata_cache_hits_total", "Compiled-automata cache hits.", float64(ac.Hits))

@@ -110,6 +110,8 @@ func New(m *mediator.Mediator, opts ...Option) *Handler {
 	h.mux.HandleFunc("GET /sources/{name}/dtd", h.getSourceDTD)
 	h.mux.HandleFunc("GET /sources/{name}/outline", h.getSourceOutline)
 	h.mux.HandleFunc("GET /metrics", h.getMetrics)
+	h.mux.HandleFunc("GET /healthz", h.getHealthz)
+	h.mux.HandleFunc("GET /readyz", h.getReadyz)
 	h.mux.HandleFunc("GET /debug/trace", h.getDebugTrace)
 	h.mux.HandleFunc("POST /infer", h.postInfer)
 	h.mux.HandleFunc("POST /invalidate", h.postInvalidate)
@@ -194,8 +196,21 @@ func (h *Handler) getView(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	setDegradedHeaders(w, v, info)
+	setStaleHeader(w, info.StaleSources)
 	w.Header().Set("Content-Type", "application/xml; charset=utf-8")
 	io.WriteString(w, mediatorMarshal(doc, v))
+}
+
+// setStaleHeader advertises last-known-good parts on a view response:
+// X-Mix-Stale-Sources lists sources whose every replica was down, served
+// from the ReplicaSet's validated last-known-good document. The answer is
+// complete and DTD-valid — nothing is missing, unlike X-Mix-Degraded-
+// Sources — but those parts may be outdated; the three source lists
+// (pruned, degraded, stale) are pairwise disjoint by construction.
+func setStaleHeader(w http.ResponseWriter, stale []string) {
+	if len(stale) > 0 {
+		w.Header().Set("X-Mix-Stale-Sources", strings.Join(stale, ","))
+	}
 }
 
 // setDegradedHeaders advertises degraded service on a view response:
@@ -336,6 +351,7 @@ func (h *Handler) postQuery(w http.ResponseWriter, r *http.Request) {
 			DegradedSources: stats.DegradedSources,
 		})
 	}
+	setStaleHeader(w, stats.StaleSources)
 	io.WriteString(w, xmlmodel.MarshalElement(doc.Root, 2))
 }
 

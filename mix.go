@@ -116,6 +116,20 @@ type (
 	MaterializeInfo = mediator.MaterializeInfo
 	// BreakerOptions configures a per-source circuit breaker.
 	BreakerOptions = mediator.BreakerOptions
+	// ReplicaSet is a replica-aware source: health-checked failover,
+	// hedged reads, a shared retry budget, and last-known-good stale
+	// serving over N interchangeable (DTD-equivalent) replicas.
+	ReplicaSet = mediator.ReplicaSet
+	// ReplicaSetOptions configures a ReplicaSet.
+	ReplicaSetOptions = mediator.ReplicaSetOptions
+	// ReplicaSetStatus is a point-in-time replica-set health snapshot.
+	ReplicaSetStatus = mediator.ReplicaSetStatus
+	// HealthOptions configures the per-replica health state machine.
+	HealthOptions = mediator.HealthOptions
+	// RetryBudget is a token bucket capping retry/hedge amplification.
+	RetryBudget = mediator.RetryBudget
+	// RetryBudgetOptions configures a RetryBudget.
+	RetryBudgetOptions = mediator.RetryBudgetOptions
 	// Fault is one scripted misbehavior of a fault-injecting source.
 	Fault = mediator.Fault
 	// WireFault is one scripted wire-level fault of a faulty HTTP handler.
@@ -138,6 +152,21 @@ func BudgetContext(ctx context.Context, b *Budget) context.Context {
 // cooldown-spaced probe succeeds.
 func NewBreakerSource(w Wrapper, opts BreakerOptions) Wrapper {
 	return mediator.NewBreakerSource(w, opts)
+}
+
+// NewReplicaSet wraps N interchangeable replicas of one logical source
+// (their DTDs must be equivalent — verified at registration) behind
+// health-checked failover, hedged reads, a shared retry budget, and
+// last-known-good stale serving. The result is a Wrapper; register it
+// with Mediator.AddSource like any other source.
+func NewReplicaSet(name string, replicas []Wrapper, opts ReplicaSetOptions) (*ReplicaSet, error) {
+	return mediator.NewReplicaSet(name, replicas, opts)
+}
+
+// NewRetryBudget builds a token bucket that retries (WithRetryBudget) and
+// hedges/failovers (ReplicaSetOptions.Budget) draw from.
+func NewRetryBudget(opts RetryBudgetOptions) *RetryBudget {
+	return mediator.NewRetryBudget(opts)
 }
 
 // NewFaultSource wraps a source with a deterministic scripted fault
@@ -416,6 +445,11 @@ func WithRetries(n int) HTTPOption { return mediator.WithRetries(n) }
 // WithBackoff sets the initial retry backoff of an HTTP source; it doubles
 // on each successive retry.
 func WithBackoff(d time.Duration) HTTPOption { return mediator.WithBackoff(d) }
+
+// WithRetryBudget makes an HTTP source's retries spend tokens from the
+// given budget: when the bucket is dry the fetch fails immediately
+// instead of sleeping another backoff against a browned-out remote.
+func WithRetryBudget(b *RetryBudget) HTTPOption { return mediator.WithRetryBudget(b) }
 
 // QueryBuilder is re-exported from the browse package.
 type QueryBuilder = browse.Builder
