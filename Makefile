@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test vet lint race fault fuzz check bench bench-compare bench-prune bench-stream bench-serve load-smoke chaos experiments cover clean fmt ci
+.PHONY: all build test vet lint race fault fuzz check bench bench-compare bench-prune bench-stream bench-serve bench-cluster load-smoke chaos cluster-smoke experiments cover clean fmt ci
 
 all: build vet test
 
@@ -56,8 +56,12 @@ fuzz:
 	go test -run '^$$' -fuzz '^FuzzParseContentModel$$' -fuzztime $(FUZZTIME) ./
 
 # Everything a change should pass before review: tier-1 build/vet/test,
-# the -race robustness battery, and bounded fuzzing of the parsers.
-check: all fault
+# staticcheck, the -race suite, the -race robustness battery, and bounded
+# fuzzing of the parsers — the same gates the CI workflow's blocking jobs
+# run (ci.yml: test, lint, race, fault), so a green `make check` predicts
+# a green CI run up to the long campaigns (cover/load-smoke/chaos/
+# cluster-smoke, which `make ci` adds).
+check: all lint race fault
 	$(MAKE) fuzz FUZZTIME=5s
 
 bench:
@@ -108,6 +112,26 @@ load-smoke:
 chaos:
 	go run ./cmd/mixload -chaos -seed 1 -rps 120 -chaos-phase 2s -out CHAOS_report.json
 
+# Multi-node cluster smoke (cmd/mixload -cluster): an in-process 3-node
+# mediator fleet sharing one consistent-hash ring over 4 sharded views
+# (one replicated), asserted against the distribution contract — every
+# endpoint of every node answers bit-identical to a single-node mediator
+# over the same sources, zero errors under load, and killing one node
+# leaves non-owned views serving with zero errors, fails replicated views
+# over, and turns orphaned views into clean 502s (never hangs). Archived
+# as CLUSTER_report.json. Blocking in CI.
+cluster-smoke:
+	go run ./cmd/mixload -cluster -seed 1 -rps 100 -cluster-phase 2s -out CLUSTER_report.json
+
+# Archive the cluster-tier benchmarks (ForwardHop: Cold = first forwarded
+# request, peer transport built from scratch including the owner DTD round
+# trip; Warm = cached transport, one owner round trip; RingOwner[sRep...]:
+# view-to-owner lookups) as JSON with the cold/warm factor. Compare
+# BENCH_cluster.json across commits to track the forward hop's overhead.
+bench-cluster:
+	go test -run '^$$' -bench 'BenchmarkForwardHop|BenchmarkRingOwner' -benchmem \
+		./internal/cluster ./internal/serve | go run ./cmd/benchjson | tee BENCH_cluster.json
+
 # Regenerate every paper artifact (EXPERIMENTS.md).
 experiments:
 	go run ./cmd/mixbench
@@ -133,8 +157,8 @@ fmt:
 
 # What the CI workflow runs, invocable locally before pushing: the gofmt
 # gate, tier-1 build/vet/test, the -race suite, the fault-injection
-# battery, the coverage floor, the bounded load smoke, and the replica
-# chaos campaign.
+# battery, the coverage floor, the bounded load smoke, the replica chaos
+# campaign, and the multi-node cluster smoke.
 ci:
 	@unformatted=$$(gofmt -l .); \
 	if [ -n "$$unformatted" ]; then \
@@ -146,6 +170,7 @@ ci:
 	$(MAKE) cover
 	$(MAKE) load-smoke
 	$(MAKE) chaos
+	$(MAKE) cluster-smoke
 
 # The artifacts requested by the reproduction protocol.
 outputs:

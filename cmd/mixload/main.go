@@ -67,7 +67,24 @@ func main() {
 	chaos := flag.Bool("chaos", false, "run the replica chaos campaign (baseline / flap / blackout / recovery) instead of the load stream")
 	replicas := flag.Int("replicas", 3, "replicas per source for the chaos campaign")
 	chaosPhase := flag.Duration("chaos-phase", 2*time.Second, "duration of each chaos campaign phase")
+	clusterMode := flag.Bool("cluster", false, "run the cluster smoke campaign (3-node fleet, single-node bit-equivalence, kill-one-node) instead of the load stream")
+	clusterNodes := flag.Int("cluster-nodes", 3, "fleet size for the cluster campaign")
+	clusterViews := flag.Int("cluster-views", 4, "sharded views for the cluster campaign")
+	clusterReplicated := flag.Int("cluster-replicated", 1, "how many cluster views are replicated (factor 2)")
+	clusterPhase := flag.Duration("cluster-phase", 2*time.Second, "duration of each cluster load phase")
 	flag.Parse()
+
+	if *clusterMode {
+		runCluster(load.ClusterOptions{
+			Seed:       *seed,
+			Nodes:      *clusterNodes,
+			Views:      *clusterViews,
+			Replicated: *clusterReplicated,
+			RPS:        *rps,
+			Phase:      *clusterPhase,
+		}, *out, *quiet)
+		return
+	}
 
 	if *chaos {
 		runChaos(load.ChaosOptions{
@@ -154,6 +171,29 @@ func runChaos(opts load.ChaosOptions, out string, quiet bool) {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	rep, err := load.RunChaos(ctx, opts)
+	if err != nil {
+		fatal(err)
+	}
+	if out != "" {
+		if err := rep.WriteFile(out); err != nil {
+			fatal(err)
+		}
+	}
+	if !quiet {
+		fmt.Println(rep.Summary())
+	}
+	if !rep.Pass {
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// runCluster executes the cluster smoke campaign (see load.RunCluster)
+// with the same exit-status convention.
+func runCluster(opts load.ClusterOptions, out string, quiet bool) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	rep, err := load.RunCluster(ctx, opts)
 	if err != nil {
 		fatal(err)
 	}

@@ -36,12 +36,14 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
 	mix "repro"
 	"repro/internal/budgetflag"
+	"repro/internal/cluster"
 	"repro/internal/mediator"
 	"repro/internal/obs"
 	"repro/internal/serve"
@@ -78,9 +80,13 @@ func main() {
 	noStaleServe := flag.Bool("no-stale-serve", false, "disable last-known-good stale serving when every replica of a source is down")
 	ejectCooldown := flag.Duration("eject-cooldown", 5*time.Second, "how long an ejected replica is skipped before a recovery probe")
 	healthInterval := flag.Duration("health-interval", 2*time.Second, "active replica health-check interval (0 disables active checks)")
-	var sources, views repeated
+	clusterSelf := flag.String("cluster-self", "", "this node's name in the cluster ring (enables cluster mode)")
+	virtualNodes := flag.Int("virtual-nodes", cluster.DefaultVirtualNodes, "virtual nodes per member on the consistent-hash ring")
+	var sources, views, clusterPeers, replicate repeated
 	flag.Var(&sources, "source", "source as name=file.xml or name=a.xml,b.xml,... (repeatable); several comma-separated files form a replica set (the files' DTDs must be equivalent)")
-	flag.Var(&views, "view", "view as source:file.xmas (repeatable)")
+	flag.Var(&views, "view", "view as source:file.xmas (repeatable); in cluster mode, every node is given the full view set and defines only the views it owns")
+	flag.Var(&clusterPeers, "cluster-peers", "cluster members as name=http://host:port (repeatable or comma-separated); must include -cluster-self and be identical on every node")
+	flag.Var(&replicate, "replicate", "replication factor for a hot view as view=N (repeatable); the ring yields N owners and non-owners fail over between them")
 	limitsOf := budgetflag.Register(flag.CommandLine)
 	flag.Parse()
 
@@ -166,6 +172,14 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+	// Parse every view definition before defining any: in cluster mode the
+	// full view set (names and replication factors) seeds the ring, and
+	// only then does this node know which views it owns and must define.
+	type viewDef struct {
+		srcName string
+		q       *mix.Query
+	}
+	var defs []viewDef
 	for _, v := range views {
 		srcName, file, ok := strings.Cut(v, ":")
 		if !ok {
@@ -179,12 +193,68 @@ func main() {
 		if err != nil {
 			log.Fatalf("mixserve: %s: %v", file, err)
 		}
-		view, err := m.DefineView(srcName, q)
+		defs = append(defs, viewDef{srcName: srcName, q: q})
+	}
+
+	var clusterNode *cluster.Node
+	if *clusterSelf != "" {
+		cfg := cluster.Config{
+			Self:         *clusterSelf,
+			Nodes:        map[string]string{},
+			VirtualNodes: *virtualNodes,
+			Views:        map[string]int{},
+			Budget:       mix.NewRetryBudget(mix.RetryBudgetOptions{Capacity: *retryBudgetCap, RefillPerSecond: *retryRefill}),
+		}
+		for _, p := range clusterPeers {
+			for _, pair := range strings.Split(p, ",") {
+				nm, url, ok := strings.Cut(pair, "=")
+				if !ok {
+					log.Fatalf("mixserve: -cluster-peers entry %q must be name=http://host:port", pair)
+				}
+				cfg.Nodes[nm] = url
+			}
+		}
+		for _, d := range defs {
+			cfg.Views[d.q.Name] = 1
+		}
+		for _, r := range replicate {
+			nm, nStr, ok := strings.Cut(r, "=")
+			if !ok {
+				log.Fatalf("mixserve: -replicate %q must be view=N", r)
+			}
+			n, err := strconv.Atoi(nStr)
+			if err != nil || n < 1 {
+				log.Fatalf("mixserve: -replicate %q: factor must be a positive integer", r)
+			}
+			if _, known := cfg.Views[nm]; !known {
+				log.Fatalf("mixserve: -replicate names unknown view %q (no matching -view)", nm)
+			}
+			cfg.Views[nm] = n
+		}
+		var err error
+		clusterNode, err = cluster.NewNode(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("cluster: node %s of %d (vnodes=%d), owns %s",
+			*clusterSelf, len(cfg.Nodes), clusterNode.Ring().VirtualNodes(),
+			strings.Join(clusterNode.OwnedViews(), ","))
+	} else if len(clusterPeers) > 0 || len(replicate) > 0 {
+		log.Fatalf("mixserve: -cluster-peers/-replicate require -cluster-self")
+	}
+
+	for _, d := range defs {
+		if clusterNode != nil && !clusterNode.Owns(d.q.Name) {
+			log.Printf("view %s: owned by %s, served here by forwarding",
+				d.q.Name, strings.Join(clusterNode.Owners(d.q.Name), ","))
+			continue
+		}
+		view, err := m.DefineView(d.srcName, d.q)
 		if err != nil {
 			log.Fatal(err)
 		}
 		log.Printf("view %s over %s: class %s, non-tight merge: %v",
-			view.Name, srcName, view.Class, view.NonTight)
+			view.Name, d.srcName, view.Class, view.NonTight)
 		if view.Degraded {
 			log.Printf("view %s: DEGRADED (sound but not tightest): %s",
 				view.Name, view.DegradedReason)
@@ -197,7 +267,11 @@ func main() {
 	expvar.Publish("mediator", expvar.Func(func() any { return med.Stats() }))
 	tracer := obs.NewTracer(*traceBuffer)
 	mux := http.NewServeMux()
-	mux.Handle("/", serve.New(med, serve.WithTracer(tracer), serve.WithLogger(logger)))
+	serveOpts := []serve.Option{serve.WithTracer(tracer), serve.WithLogger(logger)}
+	if clusterNode != nil {
+		serveOpts = append(serveOpts, serve.WithCluster(clusterNode))
+	}
+	mux.Handle("/", serve.New(med, serveOpts...))
 	mux.Handle("GET /debug/vars", expvar.Handler())
 	if *pprofOn {
 		// Opt-in: pprof exposes internals (heap contents, goroutine dumps)

@@ -1,0 +1,209 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+const fwdDTD = `<!DOCTYPE v [
+  <!ELEMENT v (#PCDATA)>
+]>`
+
+// peerServer fakes one owner mediator: the view's /dtd, the materialized
+// view, and an /sdtd sibling endpoint.
+func peerServer(t *testing.T, dtdText, body string) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/views/v/dtd", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, dtdText)
+	})
+	mux.HandleFunc("/views/v", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, dtdText+"\n"+body)
+	})
+	mux.HandleFunc("/views/v/sdtd", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "sdtd-payload")
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func fwdNode(t *testing.T, pinned []string, urls map[string]string) *Node {
+	t.Helper()
+	nodes := map[string]string{"self": ""}
+	for n, u := range urls {
+		nodes[n] = u
+	}
+	n, err := NewNode(Config{
+		Self:   "self",
+		Nodes:  nodes,
+		Pinned: map[string][]string{"v": pinned},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// TestForwardSingleOwner: build, fetch, accessor surface, sibling-path
+// pass-through, and the build-once cache.
+func TestForwardSingleOwner(t *testing.T) {
+	owner := peerServer(t, fwdDTD, "<v>hello</v>")
+	n := fwdNode(t, []string{"alpha"}, map[string]string{"alpha": owner.URL})
+	ctx := context.Background()
+
+	f, err := n.Forward(ctx, "v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.View() != "v" || fmt.Sprint(f.Owners()) != "[alpha]" {
+		t.Errorf("identity: view=%s owners=%v", f.View(), f.Owners())
+	}
+	if f.SchemaText() != fwdDTD {
+		t.Errorf("SchemaText not verbatim: %q", f.SchemaText())
+	}
+	if f.Schema() == nil || f.Schema().Root != "v" {
+		t.Errorf("Schema root: %+v", f.Schema())
+	}
+	if !strings.Contains(f.SourceName(), "/views/v") {
+		t.Errorf("single-owner SourceName should be the view URL: %s", f.SourceName())
+	}
+	if f.Status() != nil {
+		t.Error("single-owner forward has no replica health to report")
+	}
+
+	doc, stale, err := f.Fetch(ctx)
+	if err != nil || stale {
+		t.Fatalf("fetch: stale=%v err=%v", stale, err)
+	}
+	if doc.Root.Name != "v" {
+		t.Errorf("fetched root %q", doc.Root.Name)
+	}
+
+	body, err := f.GetPath(ctx, "/sdtd")
+	if err != nil || body != "sdtd-payload" {
+		t.Errorf("GetPath: %q, %v", body, err)
+	}
+
+	f2, err := n.Forward(ctx, "v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2 != f {
+		t.Error("complete forward should be cached and reused")
+	}
+	if got := fmt.Sprint(n.ForwardedViews()); got != "[v]" {
+		t.Errorf("ForwardedViews = %s", got)
+	}
+	m := n.Metrics()
+	if m.Forwarded != 1 || m.ForwardErrors != 0 || m.ForwardViews != 1 {
+		t.Errorf("metrics: %+v", m)
+	}
+}
+
+// TestForwardNoPeer: a view whose only owner is this node cannot be
+// forwarded — the caller misrouted (the view should have been defined
+// locally).
+func TestForwardNoPeer(t *testing.T) {
+	n := fwdNode(t, []string{"self"}, nil)
+	if _, err := n.Forward(context.Background(), "v"); err == nil ||
+		!strings.Contains(err.Error(), "no owner other than this node") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+// TestForwardReplicated: two owners become a ReplicaSet; killing one is
+// absorbed by failover, exactly like a replica failure.
+func TestForwardReplicated(t *testing.T) {
+	o1 := peerServer(t, fwdDTD, "<v>one</v>")
+	o2 := peerServer(t, fwdDTD, "<v>one</v>")
+	n := fwdNode(t, []string{"alpha", "beta"},
+		map[string]string{"alpha": o1.URL, "beta": o2.URL})
+	ctx := context.Background()
+
+	f, err := n.Forward(ctx, "v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.SourceName() != "cluster:v" {
+		t.Errorf("replicated SourceName = %s, want cluster:v", f.SourceName())
+	}
+	if st := f.Status(); len(st) != 2 {
+		t.Errorf("replica status entries = %d, want 2", len(st))
+	}
+	if _, stale, err := f.Fetch(ctx); err != nil || stale {
+		t.Fatalf("fetch both-up: stale=%v err=%v", stale, err)
+	}
+
+	o1.CloseClientConnections()
+	o1.Close()
+	if _, _, err := f.Fetch(ctx); err != nil {
+		t.Fatalf("fetch with one owner down must fail over: %v", err)
+	}
+}
+
+// TestForwardIncompleteNotCached: a build that reached only some owners
+// serves but is not cached, so the next request retries the full set.
+func TestForwardIncompleteNotCached(t *testing.T) {
+	up := peerServer(t, fwdDTD, "<v>up</v>")
+	down := httptest.NewServer(http.NotFoundHandler())
+	down.Close() // unreachable owner
+	n := fwdNode(t, []string{"alpha", "beta"},
+		map[string]string{"alpha": up.URL, "beta": down.URL})
+	ctx := context.Background()
+
+	f, err := n.Forward(ctx, "v")
+	if err != nil {
+		t.Fatalf("partial build should still serve: %v", err)
+	}
+	if f.complete {
+		t.Error("build missing an owner must not be marked complete")
+	}
+	if _, _, err := f.Fetch(ctx); err != nil {
+		t.Errorf("fetch through the reachable owner: %v", err)
+	}
+	if got := n.ForwardedViews(); len(got) != 0 {
+		t.Errorf("incomplete forward must not be cached: %v", got)
+	}
+	f2, err := n.Forward(ctx, "v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2 == f {
+		t.Error("next request should rebuild, not reuse the partial forward")
+	}
+}
+
+// TestForwardSplitBrain: owners serving language-different DTDs for the
+// same view are a deployment error, refused — never averaged.
+func TestForwardSplitBrain(t *testing.T) {
+	o1 := peerServer(t, fwdDTD, "<v>x</v>")
+	o2 := peerServer(t, `<!DOCTYPE v [
+  <!ELEMENT v (w*)>
+  <!ELEMENT w (#PCDATA)>
+]>`, "<v></v>")
+	n := fwdNode(t, []string{"alpha", "beta"},
+		map[string]string{"alpha": o1.URL, "beta": o2.URL})
+	_, err := n.Forward(context.Background(), "v")
+	if err == nil || !strings.Contains(err.Error(), "owners disagree") {
+		t.Errorf("split-brain err = %v", err)
+	}
+}
+
+// TestForwardErrorCounted: an unreachable sole owner fails the build and
+// shows up in the error counter.
+func TestForwardErrorCounted(t *testing.T) {
+	gone := httptest.NewServer(http.NotFoundHandler())
+	gone.Close()
+	n := fwdNode(t, []string{"alpha"}, map[string]string{"alpha": gone.URL})
+	if _, err := n.Forward(context.Background(), "v"); err == nil {
+		t.Fatal("build against a dead owner must fail")
+	}
+	if got := n.Metrics().ForwardErrors; got != 1 {
+		t.Errorf("forward_errors = %d, want 1", got)
+	}
+}

@@ -1,0 +1,187 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func testConfig(self string) Config {
+	return Config{
+		Self: self,
+		Nodes: map[string]string{
+			"node0": "http://node0",
+			"node1": "http://node1",
+			"node2": "http://node2",
+		},
+		Views: map[string]int{
+			"shard0": 2,
+			"shard1": 1,
+			"shard2": 1,
+			"shard3": 1,
+		},
+	}
+}
+
+// TestNewNodeValidation: misconfigured fleets are refused at startup, not
+// discovered at forward time.
+func TestNewNodeValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"no self", func(c *Config) { c.Self = "" }},
+		{"self not a member", func(c *Config) { c.Self = "ghost" }},
+		{"peer without URL", func(c *Config) { c.Nodes["node1"] = " " }},
+		{"pin to empty owner list", func(c *Config) { c.Pinned = map[string][]string{"shard0": {}} }},
+		{"pin to unknown node", func(c *Config) { c.Pinned = map[string][]string{"shard0": {"ghost"}} }},
+	}
+	for _, tc := range cases {
+		cfg := testConfig("node0")
+		tc.mut(&cfg)
+		if _, err := NewNode(cfg); err == nil {
+			t.Errorf("%s: NewNode accepted a bad config", tc.name)
+		}
+	}
+	// Self needs no URL (a node never forwards to itself).
+	cfg := testConfig("node0")
+	cfg.Nodes["node0"] = ""
+	if _, err := NewNode(cfg); err != nil {
+		t.Errorf("self without URL should be accepted: %v", err)
+	}
+}
+
+// TestOwnershipPartition: a fleet started from identical configuration
+// agrees on ownership, and every view lands on exactly its replication
+// factor's worth of owners. This is the property that lets cluster mode
+// ship the same -cluster-peers flags to every process.
+func TestOwnershipPartition(t *testing.T) {
+	var nodes []*Node
+	for _, self := range []string{"node0", "node1", "node2"} {
+		n, err := NewNode(testConfig(self))
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, n)
+	}
+	if nodes[0].Self() != "node0" || nodes[0].Ring() == nil {
+		t.Fatalf("node identity: self=%s ring=%v", nodes[0].Self(), nodes[0].Ring())
+	}
+	for _, view := range nodes[0].Views() {
+		want := fmt.Sprint(nodes[0].Owners(view))
+		ownerCount := 0
+		for _, n := range nodes {
+			if got := fmt.Sprint(n.Owners(view)); got != want {
+				t.Fatalf("view %s: %s computes owners %s, %s computes %s",
+					view, n.Self(), got, nodes[0].Self(), want)
+			}
+			if n.Owns(view) {
+				ownerCount++
+			}
+		}
+		if rf := nodes[0].Replication(view); ownerCount != rf {
+			t.Errorf("view %s: owned by %d nodes, replication factor %d", view, ownerCount, rf)
+		}
+	}
+	// OwnedViews ∪ over the fleet covers every view.
+	covered := map[string]bool{}
+	for _, n := range nodes {
+		for _, v := range n.OwnedViews() {
+			covered[v] = true
+		}
+	}
+	if len(covered) != len(nodes[0].Views()) {
+		t.Errorf("fleet covers %d of %d views", len(covered), len(nodes[0].Views()))
+	}
+}
+
+// TestPinnedOverride: a pin replaces the ring's owner set verbatim.
+func TestPinnedOverride(t *testing.T) {
+	cfg := testConfig("node0")
+	cfg.Pinned = map[string][]string{"shard1": {"node2", "node0"}}
+	n, err := NewNode(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fmt.Sprint(n.Owners("shard1")); got != "[node2 node0]" {
+		t.Errorf("pinned owners = %s, want [node2 node0]", got)
+	}
+	if !n.Owns("shard1") {
+		t.Error("node0 should own pinned shard1")
+	}
+	// A view known only through a pin is still a cluster view.
+	cfg = testConfig("node0")
+	cfg.Pinned = map[string][]string{"extra": {"node1"}}
+	n, err = NewNode(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !n.Knows("extra") {
+		t.Error("pin-only view should be known to the cluster")
+	}
+	if n.Owns("extra") {
+		t.Error("node0 must not own a view pinned to node1")
+	}
+}
+
+// TestCheckHops: the loop guard accepts clean paths, rejects any path
+// containing this node, and bounds the chain length — with error text
+// naming the offending path.
+func TestCheckHops(t *testing.T) {
+	n, err := NewNode(testConfig("node0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hops, err := n.CheckHops(""); err != nil || len(hops) != 0 {
+		t.Errorf("empty header: hops=%v err=%v", hops, err)
+	}
+	if hops, err := n.CheckHops(" node1 , node2 "); err != nil || fmt.Sprint(hops) != "[node1 node2]" {
+		t.Errorf("clean path: hops=%v err=%v", hops, err)
+	}
+
+	_, err = n.CheckHops("node1,node0")
+	if !errors.Is(err, ErrForwardLoop) {
+		t.Fatalf("self in path: err=%v, want ErrForwardLoop", err)
+	}
+	if !strings.Contains(err.Error(), "node1 -> node0") || !strings.Contains(err.Error(), "node0") {
+		t.Errorf("loop error should name the path: %v", err)
+	}
+
+	deep := strings.Repeat("nodeX,", MaxForwardHops)
+	if _, err := n.CheckHops(deep); !errors.Is(err, ErrForwardLoop) {
+		t.Errorf("over-deep path: err=%v, want ErrForwardLoop", err)
+	}
+
+	if got := n.Metrics().LoopRejected; got != 2 {
+		t.Errorf("loop_rejected = %d, want 2", got)
+	}
+}
+
+// TestTopology: the /cluster payload marks local, pinned, and replicated
+// views correctly.
+func TestTopology(t *testing.T) {
+	cfg := testConfig("node0")
+	cfg.Pinned = map[string][]string{"shard3": {"node0"}}
+	n, err := NewNode(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := n.Topology()
+	if top.Self != "node0" || len(top.Nodes) != 3 || len(top.Views) != 4 {
+		t.Fatalf("topology shape: self=%s nodes=%d views=%d", top.Self, len(top.Nodes), len(top.Views))
+	}
+	byView := map[string]ViewAssignment{}
+	for _, v := range top.Views {
+		byView[v.View] = v
+	}
+	if v := byView["shard3"]; !v.Pinned || !v.Local || fmt.Sprint(v.Owners) != "[node0]" {
+		t.Errorf("shard3 assignment: %+v", v)
+	}
+	if v := byView["shard0"]; v.Replication != 2 || len(v.Owners) != 2 {
+		t.Errorf("shard0 assignment: %+v", v)
+	}
+	if v := byView["shard0"]; v.Local != n.Owns("shard0") {
+		t.Errorf("shard0 Local=%v disagrees with Owns=%v", v.Local, n.Owns("shard0"))
+	}
+}

@@ -1,0 +1,44 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkRingOwner is the ring's figure of merit: one view-to-owner
+// lookup (hash + binary search over node*vnodes points). Every request
+// for a non-local view pays this once; it must stay in the tens of
+// nanoseconds.
+func BenchmarkRingOwner(b *testing.B) {
+	var members []string
+	for i := 0; i < 10; i++ {
+		members = append(members, fmt.Sprintf("node%d", i))
+	}
+	r, err := NewRing(members, DefaultVirtualNodes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	names := keys(512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = r.Owner(names[i%len(names)])
+	}
+}
+
+// BenchmarkRingOwnersReplicated is the replicated-view variant: the
+// clockwise walk collecting 3 distinct owners.
+func BenchmarkRingOwnersReplicated(b *testing.B) {
+	var members []string
+	for i := 0; i < 10; i++ {
+		members = append(members, fmt.Sprintf("node%d", i))
+	}
+	r, err := NewRing(members, DefaultVirtualNodes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	names := keys(512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = r.Owners(names[i%len(names)], 3)
+	}
+}

@@ -1,0 +1,604 @@
+package load
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/gen"
+	"repro/internal/mediator"
+	"repro/internal/serve"
+	"repro/internal/xmas"
+)
+
+// ClusterOptions configures a cluster smoke campaign (RunCluster): an
+// in-process fleet of mediator nodes sharding synthesized views over a
+// consistent-hash ring, checked against a single-node mediator serving
+// the identical sources and views. The campaign asserts the distributed
+// tier's contract: every response from every node is bit-identical to
+// the single node's; sustained mixed traffic across the fleet sees zero
+// errors; and killing one node leaves views it does not own serving with
+// zero errors, fails replicated views over to the surviving owner, and
+// turns its unreplicated views into fast, clearly-attributed 502s — the
+// error taxonomy, not hangs.
+type ClusterOptions struct {
+	// Seed fixes the synthesized views and corpora.
+	Seed int64
+	// Nodes is the fleet size (default 3).
+	Nodes int
+	// Views is the number of sharded views (default 4); each is a
+	// single-part union view over its own synthesized source.
+	Views int
+	// Replicated is how many of the views are declared replicated with
+	// factor 2 (default 1); the ring yields two owners and the forwarding
+	// path wraps them in a ReplicaSet.
+	Replicated int
+	// VirtualNodes is the ring's per-node virtual-node count (default
+	// cluster.DefaultVirtualNodes).
+	VirtualNodes int
+	// RPS is the open-loop request rate of the load phase (default 100).
+	RPS float64
+	// Phase is the duration of each load phase (default 2s).
+	Phase time.Duration
+}
+
+func (o ClusterOptions) withDefaults() ClusterOptions {
+	if o.Nodes <= 0 {
+		o.Nodes = 3
+	}
+	if o.Views <= 0 {
+		o.Views = 4
+	}
+	if o.Replicated < 0 {
+		o.Replicated = 0
+	} else if o.Replicated == 0 {
+		o.Replicated = 1
+	}
+	if o.Replicated > o.Views {
+		o.Replicated = o.Views
+	}
+	if o.RPS <= 0 {
+		o.RPS = 100
+	}
+	if o.Phase <= 0 {
+		o.Phase = 2 * time.Second
+	}
+	return o
+}
+
+// ClusterPhase is one load phase's client-observed outcome.
+type ClusterPhase struct {
+	Requests int64 `json:"requests"`
+	Errors   int64 `json:"errors"`
+	// Forwarded counts responses carrying an X-Mix-Forwarded hop path —
+	// answers that crossed at least one node boundary.
+	Forwarded int64 `json:"forwarded"`
+}
+
+// ClusterReport is one campaign's archived result (CLUSTER_report.json).
+type ClusterReport struct {
+	Seed         int64   `json:"seed"`
+	Nodes        int     `json:"nodes"`
+	Views        int     `json:"views"`
+	Replicated   int     `json:"replicated"`
+	VirtualNodes int     `json:"virtual_nodes"`
+	TargetRPS    float64 `json:"target_rps"`
+	PhaseSeconds float64 `json:"phase_seconds"`
+
+	// Assignments maps each view to its owner nodes, for the record.
+	Assignments map[string][]string `json:"assignments"`
+	// Victim is the node killed in the failure phase.
+	Victim string `json:"victim"`
+
+	// EquivalenceChecks counts (node × view × endpoint) comparisons
+	// against the single-node reference; Mismatches counts the failures
+	// and FirstMismatch describes the first one.
+	EquivalenceChecks int64  `json:"equivalence_checks"`
+	Mismatches        int64  `json:"mismatches"`
+	FirstMismatch     string `json:"first_mismatch,omitempty"`
+
+	// Load is the whole-fleet phase; Survivors the post-kill phase over
+	// the views the surviving nodes can still answer.
+	Load      ClusterPhase `json:"load"`
+	Survivors ClusterPhase `json:"survivors"`
+
+	// OrphanProbes / OrphanBadStatus cover the victim's unreplicated
+	// views after the kill: every probe must complete with 502 (a clear
+	// forwarding error), never hang or 200.
+	OrphanProbes    int64 `json:"orphan_probes"`
+	OrphanBadStatus int64 `json:"orphan_bad_status"`
+
+	Checks []SLOCheck `json:"checks"`
+	Pass   bool       `json:"pass"`
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *ClusterReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteFile archives the report (CLUSTER_report.json).
+func (r *ClusterReport) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Summary renders a short human-readable digest of the campaign.
+func (r *ClusterReport) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "  fleet: %d nodes, %d views (%d replicated), victim %s\n",
+		r.Nodes, r.Views, r.Replicated, r.Victim)
+	fmt.Fprintf(&b, "  equivalence: %d checks, %d mismatches\n", r.EquivalenceChecks, r.Mismatches)
+	if r.FirstMismatch != "" {
+		fmt.Fprintf(&b, "    first: %s\n", r.FirstMismatch)
+	}
+	fmt.Fprintf(&b, "  load:      n=%-5d err=%-3d forwarded=%d\n", r.Load.Requests, r.Load.Errors, r.Load.Forwarded)
+	fmt.Fprintf(&b, "  survivors: n=%-5d err=%-3d forwarded=%d\n", r.Survivors.Requests, r.Survivors.Errors, r.Survivors.Forwarded)
+	fmt.Fprintf(&b, "  orphans:   %d probes, %d with wrong status\n", r.OrphanProbes, r.OrphanBadStatus)
+	verdict := "PASS"
+	if !r.Pass {
+		verdict = "FAIL"
+	}
+	fmt.Fprintf(&b, "cluster: %s", verdict)
+	for _, c := range r.Checks {
+		if !c.Pass {
+			fmt.Fprintf(&b, "\n  FAIL %s: actual %.6g, limit %.6g", c.Name, c.Actual, c.Limit)
+		}
+	}
+	return b.String()
+}
+
+// lateHandler lets an httptest server start (fixing its URL, which the
+// ring configuration needs) before the handler behind it exists.
+type lateHandler struct {
+	inner atomic.Pointer[http.Handler]
+}
+
+func (l *lateHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if h := l.inner.Load(); h != nil {
+		(*h).ServeHTTP(w, r)
+		return
+	}
+	http.Error(w, "cluster fixture: node not wired yet", http.StatusServiceUnavailable)
+}
+
+// clusterNodeFix is one fleet member: its mediator (owned views only),
+// its cluster brain, and its server.
+type clusterNodeFix struct {
+	name string
+	med  *mediator.Mediator
+	node *cluster.Node
+	late *lateHandler
+	srv  *httptest.Server
+}
+
+// clusterFixture owns the fleet, the single-node reference, and the
+// synthesized views.
+type clusterFixture struct {
+	opts      ClusterOptions
+	views     []string       // view names, index-aligned with sources
+	sources   []*Source      // one synthesized source per view
+	rf        map[string]int // view -> replication factor
+	queries   map[string][]string
+	nodes     []*clusterNodeFix
+	single    *httptest.Server // the reference mediator
+	singleMed *mediator.Mediator
+	client    *http.Client
+}
+
+func (f *clusterFixture) close() {
+	for _, n := range f.nodes {
+		if n.srv != nil {
+			n.srv.Close()
+		}
+	}
+	if f.single != nil {
+		f.single.Close()
+	}
+}
+
+func newClusterFixture(o ClusterOptions) (*clusterFixture, error) {
+	f := &clusterFixture{
+		opts:    o,
+		rf:      map[string]int{},
+		queries: map[string][]string{},
+		client:  &http.Client{Timeout: 10 * time.Second},
+	}
+	fams := Families()
+	for i := 0; i < o.Views; i++ {
+		srcName := fmt.Sprintf("src%d", i)
+		view := fmt.Sprintf("shard%d", i)
+		src, err := BuildSource(srcName, SourceOptions{
+			Schema: SchemaOptions{Seed: o.Seed + int64(i), Family: fams[i%len(fams)]},
+			Gen:    gen.Options{MaxDepth: 6, LengthBias: 0.3, AssignIDs: true},
+		})
+		if err != nil {
+			f.close()
+			return nil, err
+		}
+		f.sources = append(f.sources, src)
+		f.views = append(f.views, view)
+		f.rf[view] = 1
+		if i < o.Replicated {
+			f.rf[view] = 2
+		}
+		// Two probes per view: the identity pick, and a qualified pick
+		// naming a child that really occurs in this view's entries, so
+		// both the plain and the condition-bearing engine paths are
+		// compared bit-for-bit across the fleet.
+		f.queries[view] = []string{
+			fmt.Sprintf(`r = SELECT X WHERE <%s> X:<entry/> </%s>`, view, view),
+		}
+		if kids := modelNames(src.DTD.Types["entry"].Model); len(kids) > 0 {
+			f.queries[view] = append(f.queries[view],
+				fmt.Sprintf(`r = SELECT X WHERE <%s> X:<entry><%s/></entry> </%s>`, view, kids[0], view))
+		}
+	}
+
+	// The single-node reference: every source, every view, no cluster.
+	f.singleMed = mediator.New("single")
+	if err := f.defineAll(f.singleMed, nil); err != nil {
+		f.close()
+		return nil, err
+	}
+	f.single = httptest.NewServer(serve.New(f.singleMed))
+
+	// Fleet: start the servers first (the ring needs the URLs), then give
+	// every node the identical cluster configuration, then wire each
+	// node's handler — mediator with owned views only, forwarding for the
+	// rest.
+	urls := map[string]string{}
+	for i := 0; i < o.Nodes; i++ {
+		n := &clusterNodeFix{name: fmt.Sprintf("node%d", i), late: &lateHandler{}}
+		n.srv = httptest.NewServer(n.late)
+		f.nodes = append(f.nodes, n)
+		urls[n.name] = n.srv.URL
+	}
+	viewsCfg := map[string]int{}
+	for _, v := range f.views {
+		viewsCfg[v] = f.rf[v]
+	}
+	for _, n := range f.nodes {
+		node, err := cluster.NewNode(cluster.Config{
+			Self:         n.name,
+			Nodes:        urls,
+			VirtualNodes: o.VirtualNodes,
+			Views:        viewsCfg,
+			Budget:       mediator.NewRetryBudget(mediator.RetryBudgetOptions{Capacity: 50, RefillPerSecond: 25}),
+		})
+		if err != nil {
+			f.close()
+			return nil, err
+		}
+		n.node = node
+		n.med = mediator.New(n.name)
+		if err := f.defineAll(n.med, node); err != nil {
+			f.close()
+			return nil, err
+		}
+		var h http.Handler = serve.New(n.med, serve.WithCluster(node))
+		n.late.inner.Store(&h)
+	}
+	return f, nil
+}
+
+// defineAll adds every source to m and defines each view — all of them
+// when node is nil (the single-node reference), only the owned ones in
+// cluster mode.
+func (f *clusterFixture) defineAll(m *mediator.Mediator, node *cluster.Node) error {
+	for i, src := range f.sources {
+		wrapper, err := mediator.NewStaticSource(src.Name, src.Doc, src.DTD)
+		if err != nil {
+			return err
+		}
+		if err := m.AddSource(wrapper); err != nil {
+			return err
+		}
+		view := f.views[i]
+		if node != nil && !node.Owns(view) {
+			continue
+		}
+		if _, err := m.DefineUnionView(view, []mediator.ViewPart{{
+			Source: src.Name,
+			Query:  xmas.MustParse(fmt.Sprintf(`SELECT X WHERE <%s> X:<entry/> </%s>`, src.Name, src.Name)),
+		}}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fetch issues one request and returns status, the forwarded hop path
+// header, and the body.
+func (f *clusterFixture) fetch(ctx context.Context, method, url, body string) (int, string, string, error) {
+	var rd io.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, url, rd)
+	if err != nil {
+		return 0, "", "", err
+	}
+	resp, err := f.client.Do(req)
+	if err != nil {
+		return 0, "", "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return 0, "", "", err
+	}
+	return resp.StatusCode, resp.Header.Get(mediator.ForwardHeader), string(b), nil
+}
+
+// endpointProbe is one comparable request shape against a view.
+type endpointProbe struct {
+	label  string
+	method string
+	path   string
+	body   string
+}
+
+// probesFor enumerates the comparable endpoints of one view.
+func (f *clusterFixture) probesFor(view string) []endpointProbe {
+	probes := []endpointProbe{
+		{label: "view", method: http.MethodGet, path: "/views/" + view},
+		{label: "dtd", method: http.MethodGet, path: "/views/" + view + "/dtd"},
+		{label: "sdtd", method: http.MethodGet, path: "/views/" + view + "/sdtd"},
+		{label: "outline", method: http.MethodGet, path: "/views/" + view + "/outline"},
+	}
+	for qi, q := range f.queries[view] {
+		probes = append(probes, endpointProbe{
+			label:  fmt.Sprintf("query%d", qi),
+			method: http.MethodPost,
+			path:   "/views/" + view + "/query",
+			body:   q,
+		})
+	}
+	return probes
+}
+
+// RunCluster executes the cluster smoke campaign and evaluates its
+// checks. Deterministic in fleet and corpora (Seed); the load phases are
+// bounds, not exact counts.
+func RunCluster(ctx context.Context, opts ClusterOptions) (*ClusterReport, error) {
+	o := opts.withDefaults()
+	f, err := newClusterFixture(o)
+	if err != nil {
+		return nil, err
+	}
+	defer f.close()
+
+	rep := &ClusterReport{
+		Seed:         o.Seed,
+		Nodes:        o.Nodes,
+		Views:        o.Views,
+		Replicated:   o.Replicated,
+		VirtualNodes: f.nodes[0].node.Ring().VirtualNodes(),
+		TargetRPS:    o.RPS,
+		PhaseSeconds: o.Phase.Seconds(),
+		Assignments:  map[string][]string{},
+	}
+	for _, v := range f.views {
+		rep.Assignments[v] = f.nodes[0].node.Owners(v)
+	}
+
+	// Phase 1: bit-identical equivalence. Every node × every view ×
+	// every endpoint must answer byte-for-byte what the single-node
+	// reference answers; this also eagerly builds every forward, so the
+	// kill phase exercises failover on warm transports, as a fleet that
+	// has been serving traffic would.
+	mismatch := func(desc string) {
+		rep.Mismatches++
+		if rep.FirstMismatch == "" {
+			rep.FirstMismatch = desc
+		}
+	}
+	for _, view := range f.views {
+		for _, p := range f.probesFor(view) {
+			refStatus, _, refBody, err := f.fetch(ctx, p.method, f.single.URL+p.path, p.body)
+			if err != nil {
+				return rep, fmt.Errorf("load: single-node reference %s %s: %w", p.method, p.path, err)
+			}
+			for _, n := range f.nodes {
+				rep.EquivalenceChecks++
+				status, _, body, err := f.fetch(ctx, p.method, n.srv.URL+p.path, p.body)
+				switch {
+				case err != nil:
+					mismatch(fmt.Sprintf("%s %s on %s: %v", p.method, p.path, n.name, err))
+				case status != refStatus:
+					mismatch(fmt.Sprintf("%s %s on %s: status %d, reference %d", p.method, p.path, n.name, status, refStatus))
+				case body != refBody:
+					mismatch(fmt.Sprintf("%s %s on %s: body diverges from reference (%d vs %d bytes): %s",
+						p.method, p.path, n.name, len(body), len(refBody), firstDiff(body, refBody)))
+				}
+			}
+		}
+	}
+	// The merged view listing is also node-independent.
+	_, _, refList, err := f.fetch(ctx, http.MethodGet, f.single.URL+"/views", "")
+	if err != nil {
+		return rep, err
+	}
+	for _, n := range f.nodes {
+		rep.EquivalenceChecks++
+		if _, _, list, err := f.fetch(ctx, http.MethodGet, n.srv.URL+"/views", ""); err != nil || list != refList {
+			mismatch(fmt.Sprintf("GET /views on %s diverges from reference", n.name))
+		}
+	}
+
+	// Phase 2: open-loop mixed traffic across the whole fleet.
+	rep.Load = f.drive(ctx, o, f.nodes, f.views)
+
+	// Phase 3: kill one node — the first owner of the first replicated
+	// view if any view is replicated (so the kill exercises owner
+	// failover), otherwise the owner of view 0.
+	victimName := f.nodes[0].node.Owners(f.views[0])[0]
+	if o.Replicated > 0 {
+		victimName = rep.Assignments[f.views[0]][0]
+	}
+	rep.Victim = victimName
+	var victim *clusterNodeFix
+	var survivors []*clusterNodeFix
+	for _, n := range f.nodes {
+		if n.name == victimName {
+			victim = n
+		} else {
+			survivors = append(survivors, n)
+		}
+	}
+	victim.srv.CloseClientConnections()
+	victim.srv.Close()
+
+	// Views the survivors must keep answering with zero errors: every
+	// view with at least one live owner. The victim's unreplicated views
+	// are probed separately for the error taxonomy.
+	var served, orphaned []string
+	for _, v := range f.views {
+		alive := false
+		for _, owner := range rep.Assignments[v] {
+			if owner != victimName {
+				alive = true
+			}
+		}
+		if alive {
+			served = append(served, v)
+		} else {
+			orphaned = append(orphaned, v)
+		}
+	}
+	sort.Strings(orphaned)
+	rep.Survivors = f.drive(ctx, o, survivors, served)
+
+	// Orphaned views: a fast, clearly-attributed 502 from every survivor
+	// — the forwarding error taxonomy, not a hang and not a bogus 200.
+	for _, v := range orphaned {
+		for _, n := range survivors {
+			rep.OrphanProbes++
+			status, _, body, err := f.fetch(ctx, http.MethodGet, n.srv.URL+"/views/"+v, "")
+			if err != nil || status != http.StatusBadGateway || !strings.Contains(body, "cluster: forwarding view") {
+				rep.OrphanBadStatus++
+			}
+		}
+	}
+
+	if ctx.Err() != nil {
+		return rep, ctx.Err()
+	}
+
+	rep.Pass = true
+	add := func(name string, limit, actual float64, pass bool) {
+		rep.Checks = append(rep.Checks, SLOCheck{Name: name, Limit: limit, Actual: actual, Pass: pass})
+		if !pass {
+			rep.Pass = false
+		}
+	}
+	add("equivalence.mismatches", 0, float64(rep.Mismatches), rep.Mismatches == 0)
+	add("equivalence.checks", float64(o.Nodes*o.Views), float64(rep.EquivalenceChecks),
+		rep.EquivalenceChecks >= int64(o.Nodes*o.Views))
+	add("load.errors", 0, float64(rep.Load.Errors), rep.Load.Errors == 0)
+	add("load.forwarded", 1, float64(rep.Load.Forwarded), rep.Load.Forwarded >= 1)
+	add("survivors.errors", 0, float64(rep.Survivors.Errors), rep.Survivors.Errors == 0)
+	add("orphans.bad_status", 0, float64(rep.OrphanBadStatus), rep.OrphanBadStatus == 0)
+	return rep, nil
+}
+
+// drive runs the open-loop stream for the phase duration, spreading GETs
+// and queries round-robin over the given nodes and views.
+func (f *clusterFixture) drive(ctx context.Context, o ClusterOptions, nodes []*clusterNodeFix, views []string) ClusterPhase {
+	var requests, errCount, forwarded atomic.Int64
+	interval := time.Duration(float64(time.Second) / o.RPS)
+	if interval <= 0 {
+		interval = time.Millisecond
+	}
+	sem := make(chan struct{}, 32)
+	var wg sync.WaitGroup
+	ticker := time.NewTicker(interval)
+	deadline := time.NewTimer(o.Phase)
+	var i atomic.Int64
+loop:
+	for {
+		select {
+		case <-ctx.Done():
+			break loop
+		case <-deadline.C:
+			break loop
+		case <-ticker.C:
+			select {
+			case sem <- struct{}{}:
+			default:
+				continue // saturated: open loop sheds rather than queues
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { <-sem }()
+				k := i.Add(1)
+				n := nodes[int(k)%len(nodes)]
+				view := views[int(k/2)%len(views)]
+				method, path, body := http.MethodGet, "/views/"+view, ""
+				if k%2 == 0 {
+					method, path = http.MethodPost, "/views/"+view+"/query"
+					body = f.queries[view][0]
+				}
+				status, via, _, err := f.fetch(ctx, method, n.srv.URL+path, body)
+				requests.Add(1)
+				if err != nil || status != http.StatusOK {
+					errCount.Add(1)
+				}
+				if via != "" {
+					forwarded.Add(1)
+				}
+			}()
+		}
+	}
+	ticker.Stop()
+	deadline.Stop()
+	wg.Wait()
+	return ClusterPhase{Requests: requests.Load(), Errors: errCount.Load(), Forwarded: forwarded.Load()}
+}
+
+// firstDiff locates the first divergent byte of two strings, with a
+// little context — enough to diagnose a mismatch from the report alone.
+func firstDiff(a, b string) string {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			lo := i - 20
+			if lo < 0 {
+				lo = 0
+			}
+			hiA, hiB := i+20, i+20
+			if hiA > len(a) {
+				hiA = len(a)
+			}
+			if hiB > len(b) {
+				hiB = len(b)
+			}
+			return fmt.Sprintf("at byte %d: %q vs %q", i, a[lo:hiA], b[lo:hiB])
+		}
+	}
+	return fmt.Sprintf("length %d vs %d", len(a), len(b))
+}

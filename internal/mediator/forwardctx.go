@@ -1,0 +1,142 @@
+package mediator
+
+import (
+	"context"
+	"net/http"
+	"strings"
+	"sync"
+)
+
+// ForwardHeader is the hop-path header of the cluster tier. A mediator
+// node forwarding a request to a peer (internal/cluster) sends the chain
+// of node names traversed so far as a comma-separated list; the receiving
+// node refuses with 421 Misdirected Request when its own name is already
+// on the list — a forwarding loop, which only a stale or inconsistent
+// ring configuration can produce. Responses echo the final path so a
+// client can see which nodes served its request.
+const ForwardHeader = "X-Mix-Forwarded"
+
+// ForwardInfo rides the context through a forwarded fetch. It plays two
+// roles:
+//
+//   - Request side: Hops is the forwarding path so far (node names,
+//     oldest first). HTTPSource sends it as the X-Mix-Forwarded request
+//     header on every request it makes while the ForwardInfo is on the
+//     context — including through a ReplicaSet, whose replica fetches
+//     inherit the caller's context.
+//   - Response side: the X-Mix-Degraded/Pruned/Stale source taxonomy and
+//     the peer's own X-Mix-Forwarded echo are captured from successful
+//     responses, so the forwarding node can pass the owner's headers
+//     through to its client instead of erasing them at the hop.
+//
+// The capture is mutex-guarded because hedged reads may have two replica
+// requests in flight; whichever responses arrive are recorded (the
+// replicas are DTD-equivalent owners of the same view, so either's
+// taxonomy is a truthful account of the answer served).
+type ForwardInfo struct {
+	// Hops is the forwarding path up to and including the sending node.
+	// It is fixed before the fetch starts and read-only afterwards.
+	Hops []string
+
+	mu              sync.Mutex
+	degraded        bool
+	degradedSources []string
+	prunedSources   []string
+	staleSources    []string
+	via             []string
+}
+
+// forwardKey is the context key for a *ForwardInfo.
+type forwardKey struct{}
+
+// WithForwardInfo returns a context carrying fi; HTTPSource fetches under
+// it send the hop path and record response taxonomy headers into fi.
+func WithForwardInfo(ctx context.Context, fi *ForwardInfo) context.Context {
+	return context.WithValue(ctx, forwardKey{}, fi)
+}
+
+// ForwardInfoFrom returns the context's ForwardInfo, or nil.
+func ForwardInfoFrom(ctx context.Context) *ForwardInfo {
+	fi, _ := ctx.Value(forwardKey{}).(*ForwardInfo)
+	return fi
+}
+
+// record captures the taxonomy headers of one successful peer response.
+func (fi *ForwardInfo) record(h http.Header) {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	if h.Get("X-Mix-Degraded") == "true" {
+		fi.degraded = true
+	}
+	fi.degradedSources = mergeCSV(fi.degradedSources, h.Get("X-Mix-Degraded-Sources"))
+	fi.prunedSources = mergeCSV(fi.prunedSources, h.Get("X-Mix-Pruned-Sources"))
+	fi.staleSources = mergeCSV(fi.staleSources, h.Get("X-Mix-Stale-Sources"))
+	if v := h.Get(ForwardHeader); v != "" {
+		fi.via = splitCSV(v)
+	}
+}
+
+// Degraded reports whether any recorded peer response was degraded.
+func (fi *ForwardInfo) Degraded() bool {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	return fi.degraded
+}
+
+// DegradedSources returns the union of recorded degraded-source lists.
+func (fi *ForwardInfo) DegradedSources() []string {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	return append([]string(nil), fi.degradedSources...)
+}
+
+// PrunedSources returns the union of recorded pruned-source lists.
+func (fi *ForwardInfo) PrunedSources() []string {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	return append([]string(nil), fi.prunedSources...)
+}
+
+// StaleSources returns the union of recorded stale-source lists.
+func (fi *ForwardInfo) StaleSources() []string {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	return append([]string(nil), fi.staleSources...)
+}
+
+// Via returns the peer's echoed hop path, if any response carried one.
+func (fi *ForwardInfo) Via() []string {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	return append([]string(nil), fi.via...)
+}
+
+// mergeCSV appends the comma-separated names of csv to have, keeping the
+// result duplicate-free and insertion-ordered.
+func mergeCSV(have []string, csv string) []string {
+	if csv == "" {
+		return have
+	}
+	seen := map[string]bool{}
+	for _, n := range have {
+		seen[n] = true
+	}
+	for _, n := range splitCSV(csv) {
+		if !seen[n] {
+			seen[n] = true
+			have = append(have, n)
+		}
+	}
+	return have
+}
+
+// splitCSV splits a comma-separated header value, trimming blanks.
+func splitCSV(csv string) []string {
+	var out []string
+	for _, p := range strings.Split(csv, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -69,6 +69,11 @@ type HTTPSource struct {
 	maxBackoff  time.Duration
 	retryBudget *RetryBudget
 	retries     atomic.Int64
+	// rawDTD is the remote /dtd response exactly as received. The cluster
+	// tier serves it verbatim on forwarded DTD requests, so a forwarded
+	// response is bit-identical to the owner's even if a parse/print
+	// round trip of the DTD were ever to normalize formatting.
+	rawDTD string
 	// sleep waits between retries (honoring ctx); tests inject a stub to
 	// observe the requested delays without actually waiting.
 	sleep func(ctx context.Context, d time.Duration) error
@@ -123,6 +128,15 @@ func WithRetryBudget(b *RetryBudget) HTTPOption {
 // http.DefaultClient: a hung remote must not wedge the mediator's
 // goroutine fan-out).
 func NewHTTPSource(client *http.Client, baseURL, view string, opts ...HTTPOption) (*HTTPSource, error) {
+	return NewHTTPSourceContext(context.Background(), client, baseURL, view, opts...)
+}
+
+// NewHTTPSourceContext is NewHTTPSource with a caller-supplied context for
+// the eager view-DTD fetch. The cluster tier needs it: when a forward is
+// built lazily inside a request, the DTD fetch must carry that request's
+// deadline and ForwardInfo hop path, or the loop guard would not see the
+// very first round trip.
+func NewHTTPSourceContext(ctx context.Context, client *http.Client, baseURL, view string, opts ...HTTPOption) (*HTTPSource, error) {
 	if client == nil {
 		client = &http.Client{Timeout: DefaultHTTPTimeout}
 	}
@@ -146,7 +160,7 @@ func NewHTTPSource(client *http.Client, baseURL, view string, opts ...HTTPOption
 	for _, opt := range opts {
 		opt(s)
 	}
-	body, err := s.get(context.Background(), s.viewURL+"/dtd")
+	body, err := s.get(ctx, s.viewURL+"/dtd")
 	if err != nil {
 		return nil, fmt.Errorf("mediator: fetching remote view DTD: %w", err)
 	}
@@ -158,7 +172,19 @@ func NewHTTPSource(client *http.Client, baseURL, view string, opts ...HTTPOption
 		return nil, fmt.Errorf("mediator: remote view DTD inconsistent: %v", errs[0])
 	}
 	s.schema = d
+	s.rawDTD = body
 	return s, nil
+}
+
+// SchemaText returns the remote view DTD exactly as the peer served it.
+func (s *HTTPSource) SchemaText() string { return s.rawDTD }
+
+// GetPath performs a raw GET of a sibling endpoint of the source's view
+// (e.g. "/sdtd", "/outline") under the source's retry/budget policy. The
+// cluster tier uses it to pass through endpoints whose payload the
+// forwarding node cannot reconstruct from the schema and document alone.
+func (s *HTTPSource) GetPath(ctx context.Context, suffix string) (string, error) {
+	return s.get(ctx, s.viewURL+suffix)
 }
 
 // Name implements Wrapper; it is the view's URL, which doubles as a
@@ -263,6 +289,12 @@ func (s *HTTPSource) tryGet(ctx context.Context, url string) (string, int, error
 	if err != nil {
 		return "", 0, err
 	}
+	fi := ForwardInfoFrom(ctx)
+	if fi != nil && len(fi.Hops) > 0 {
+		// A cluster forward announces its hop path so the peer can refuse
+		// loops (421, not retried — the path would be the same next time).
+		req.Header.Set(ForwardHeader, strings.Join(fi.Hops, ","))
+	}
 	resp, err := s.client.Do(req)
 	if err != nil {
 		return "", 0, err
@@ -277,6 +309,11 @@ func (s *HTTPSource) tryGet(ctx context.Context, url string) (string, int, error
 	}
 	if len(body) > maxResponseBytes {
 		return "", resp.StatusCode, ErrBodyTooLarge
+	}
+	if fi != nil && resp.StatusCode == http.StatusOK {
+		// Capture the peer's pruned/degraded/stale taxonomy so the
+		// forwarding node passes it through instead of erasing it.
+		fi.record(resp.Header)
 	}
 	return string(body), resp.StatusCode, nil
 }

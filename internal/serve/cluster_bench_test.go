@@ -1,0 +1,73 @@
+package serve
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/mediator"
+)
+
+// benchGet performs one GET and fails the benchmark on a non-200.
+func benchGet(b *testing.B, url string) {
+	b.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		b.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b.Fatalf("GET %s: %d", url, resp.StatusCode)
+	}
+}
+
+// benchForwarder builds a fresh non-owner node whose one view is pinned
+// to the owner — the cold path: the first request must fetch the owner's
+// DTD, build the peer transport, then fetch and validate the view.
+func benchForwarder(b *testing.B, ownerURL string) *cluster.Node {
+	b.Helper()
+	node, err := cluster.NewNode(cluster.Config{
+		Self:   "bench",
+		Nodes:  map[string]string{"alpha": ownerURL, "bench": ""},
+		Pinned: map[string][]string{"members": {"alpha"}},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return node
+}
+
+// BenchmarkForwardHopCold measures the full cost of a first forwarded
+// request: transport build (owner DTD round trip) plus the materialized
+// view fetch, streaming validation and re-serve. Pairs with
+// BenchmarkForwardHopWarm via benchjson to report the transport cache's
+// speedup — the forward-hop figure of merit archived in
+// BENCH_cluster.json.
+func BenchmarkForwardHopCold(b *testing.B) {
+	owner, _ := newServerAndMediator(b)
+	late := &swapHandler{}
+	front := httptest.NewServer(late)
+	defer front.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		late.set(New(mediator.New("bench-med"), WithCluster(benchForwarder(b, owner.URL))))
+		benchGet(b, front.URL+"/views/members")
+	}
+}
+
+// BenchmarkForwardHopWarm measures a forwarded request once the peer
+// transport is built and cached: one owner round trip for the view body,
+// validated in flight.
+func BenchmarkForwardHopWarm(b *testing.B) {
+	owner, _ := newServerAndMediator(b)
+	front := httptest.NewServer(New(mediator.New("bench-med"), WithCluster(benchForwarder(b, owner.URL))))
+	defer front.Close()
+	benchGet(b, front.URL+"/views/members") // build + cache the transport
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchGet(b, front.URL+"/views/members")
+	}
+}

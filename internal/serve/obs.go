@@ -298,6 +298,23 @@ func (h *Handler) writePrometheus(w http.ResponseWriter) {
 			obs.Label{Name: "status", Value: status})
 	}
 
+	// Cluster tier: ring shares and forwarding counters (cluster mode only).
+	if h.cluster != nil {
+		cm := h.cluster.Metrics()
+		selfLabel := obs.Label{Name: "node", Value: cm.Self}
+		mw.Gauge("mix_cluster_nodes", "Mediator nodes in the cluster ring.", float64(cm.Nodes), selfLabel)
+		mw.Gauge("mix_cluster_virtual_nodes", "Virtual nodes per member on the consistent-hash ring.", float64(cm.VirtualNodes), selfLabel)
+		mw.Gauge("mix_cluster_owned_views", "Cluster views this node owns (serves locally).", float64(cm.OwnedViews), selfLabel)
+		mw.Gauge("mix_cluster_forward_views", "Cluster views with a built peer-forward transport.", float64(cm.ForwardViews), selfLabel)
+		mw.Counter("mix_cluster_forwarded_total", "Requests forwarded to peer mediator nodes.", float64(cm.Forwarded), selfLabel)
+		mw.Counter("mix_cluster_forward_errors_total", "Forwarded requests that failed (builds and fetches).", float64(cm.ForwardErrors), selfLabel)
+		mw.Counter("mix_cluster_loop_rejected_total", "Requests rejected by the forwarding loop guard (421).", float64(cm.LoopRejected), selfLabel)
+		for _, ns := range cm.Ring {
+			mw.Gauge("mix_cluster_ring_share", "Fraction of the hash space owned per node.", ns.Share,
+				obs.Label{Name: "node", Value: ns.Node})
+		}
+	}
+
 	tr := h.tracer
 	mw.Counter("mix_traces_recorded_total", "Request traces recorded into the /debug/trace ring.", float64(tr.Recorded()))
 	if err := mw.Err(); err != nil {

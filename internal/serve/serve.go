@@ -44,11 +44,13 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"sort"
 	"strings"
 	"sync"
 
 	"repro/internal/browse"
 	"repro/internal/budget"
+	"repro/internal/cluster"
 	"repro/internal/dtd"
 	"repro/internal/infer"
 	"repro/internal/mediator"
@@ -64,6 +66,10 @@ type Handler struct {
 
 	tracer *obs.Tracer
 	logger *slog.Logger
+
+	// cluster, when set (WithCluster), forwards requests for views owned
+	// by peer mediator nodes; see cluster.go.
+	cluster *cluster.Node
 
 	// reqHists holds one latency histogram per route pattern, created on
 	// first hit (the route set is small and fixed).
@@ -115,6 +121,9 @@ func New(m *mediator.Mediator, opts ...Option) *Handler {
 	h.mux.HandleFunc("GET /debug/trace", h.getDebugTrace)
 	h.mux.HandleFunc("POST /infer", h.postInfer)
 	h.mux.HandleFunc("POST /invalidate", h.postInvalidate)
+	if h.cluster != nil {
+		h.mux.HandleFunc("GET /cluster", h.getCluster)
+	}
 	return h
 }
 
@@ -171,7 +180,23 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 func (h *Handler) listViews(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	for _, v := range h.m.Views() {
+	views := h.m.Views()
+	if h.cluster != nil {
+		// Cluster views resolve on every node (forwarded when not owned),
+		// so the listing advertises them all — a client sees the same view
+		// namespace no matter which node it asks.
+		seen := map[string]bool{}
+		for _, v := range views {
+			seen[v] = true
+		}
+		for _, v := range h.cluster.Views() {
+			if !seen[v] {
+				views = append(views, v)
+			}
+		}
+		sort.Strings(views)
+	}
+	for _, v := range views {
 		fmt.Fprintln(w, v)
 	}
 }
@@ -185,6 +210,12 @@ func (h *Handler) listSources(w http.ResponseWriter, r *http.Request) {
 
 func (h *Handler) getView(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
+	if fwd, ctx, fi, done := h.forwarded(w, r, name); done {
+		return
+	} else if fwd != nil {
+		h.forwardView(w, fwd, ctx, fi)
+		return
+	}
 	doc, info, err := h.m.MaterializeInfo(r.Context(), name)
 	if err != nil {
 		http.Error(w, err.Error(), statusFor(err))
@@ -244,6 +275,12 @@ func mediatorMarshal(doc *xmlmodel.Document, v *mediator.View) string {
 }
 
 func (h *Handler) getViewDTD(w http.ResponseWriter, r *http.Request) {
+	if fwd, _, fi, done := h.forwarded(w, r, r.PathValue("name")); done {
+		return
+	} else if fwd != nil {
+		h.forwardDTD(w, fwd, fi)
+		return
+	}
 	v, err := h.m.View(r.PathValue("name"))
 	if err != nil {
 		http.Error(w, err.Error(), statusFor(err))
@@ -254,6 +291,12 @@ func (h *Handler) getViewDTD(w http.ResponseWriter, r *http.Request) {
 }
 
 func (h *Handler) getViewSDTD(w http.ResponseWriter, r *http.Request) {
+	if fwd, ctx, fi, done := h.forwarded(w, r, r.PathValue("name")); done {
+		return
+	} else if fwd != nil {
+		h.forwardPath(w, fwd, ctx, fi, "/sdtd")
+		return
+	}
 	v, err := h.m.View(r.PathValue("name"))
 	if err != nil {
 		http.Error(w, err.Error(), statusFor(err))
@@ -290,12 +333,25 @@ func (h *Handler) getMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
+	if h.cluster != nil {
+		_ = enc.Encode(struct {
+			mediator.Stats
+			Cluster cluster.Metrics `json:"cluster"`
+		}{h.m.Stats(), h.cluster.Metrics()})
+		return
+	}
 	_ = enc.Encode(h.m.Stats())
 }
 
 // getViewOutline serves the structure display of the DTD-based query
 // interface for a view's inferred DTD.
 func (h *Handler) getViewOutline(w http.ResponseWriter, r *http.Request) {
+	if fwd, ctx, fi, done := h.forwarded(w, r, r.PathValue("name")); done {
+		return
+	} else if fwd != nil {
+		h.forwardPath(w, fwd, ctx, fi, "/outline")
+		return
+	}
 	v, err := h.m.View(r.PathValue("name"))
 	if err != nil {
 		http.Error(w, err.Error(), statusFor(err))
@@ -318,6 +374,12 @@ func (h *Handler) getSourceOutline(w http.ResponseWriter, r *http.Request) {
 
 func (h *Handler) postQuery(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
+	if fwd, ctx, fi, done := h.forwarded(w, r, name); done {
+		return
+	} else if fwd != nil {
+		h.forwardQuery(w, r, fwd, ctx, fi)
+		return
+	}
 	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)

@@ -43,7 +43,7 @@ func newServer(t *testing.T) *httptest.Server {
 	return srv
 }
 
-func newServerAndMediator(t *testing.T) (*httptest.Server, *mediator.Mediator) {
+func newServerAndMediator(t testing.TB) (*httptest.Server, *mediator.Mediator) {
 	t.Helper()
 	m := mediator.New("campus")
 	d, err := dtd.Parse(d1Text)
